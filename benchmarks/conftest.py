@@ -1,0 +1,54 @@
+"""Shared workloads and helpers for the figure-reproduction benchmarks.
+
+The paper evaluates on a 11959x8135 truecolor image; the benchmarks here use a
+smaller image so the whole suite runs in minutes, but every comparison keeps
+the paper's structure (same filters, same baselines, same pipelines).  Each
+benchmark prints a table with the paper's numbers alongside the measured ones;
+EXPERIMENTS.md records a captured run.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.apps.images import make_test_planes
+
+#: Benchmark image size (width, height).
+BENCH_WIDTH = 480
+BENCH_HEIGHT = 320
+
+
+@pytest.fixture(scope="session")
+def bench_planes() -> dict[str, np.ndarray]:
+    return make_test_planes(BENCH_WIDTH, BENCH_HEIGHT, seed=42)
+
+
+@pytest.fixture(scope="session")
+def bench_interleaved(bench_planes) -> np.ndarray:
+    return np.stack([bench_planes["r"], bench_planes["g"], bench_planes["b"]], axis=-1)
+
+
+def time_callable(fn, repeats: int = 3) -> float:
+    """Best wall-clock seconds of ``fn()`` over a few repeats.
+
+    The first repeat doubles as warm-up (it may include one-time costs such as
+    the cached lifting runs), so the minimum is the stable measurement.
+    """
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return min(samples)
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    widths = [max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+              for i in range(len(headers))]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,58 @@
+"""Ablation: what tree canonicalization buys (DESIGN.md design-choice check).
+
+Two measurements on the box-blur trace:
+
+* cluster count with and without canonicalization — without the cancellation
+  rewrite, the sliding-window trees all differ in shape (the window expression
+  grows with the column index), so clustering degenerates and the affine solve
+  has no hope; with it, every output pixel falls into one cluster of 9-point
+  trees, which is what makes box blur liftable at all (paper section 6.3);
+* the cost of the lift itself, benchmarked end-to-end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import PhotoshopApp
+from repro.core import lift_filter
+from repro.core.symbolic import cluster_trees
+from repro.ir import structural_signature
+
+from conftest import print_table
+
+
+@pytest.fixture(scope="module")
+def box_blur_result():
+    app = PhotoshopApp(width=12, height=9, seed=5)
+    return lift_filter(app, "box_blur")
+
+
+def test_ablation_canonicalization_cluster_counts(box_blur_result):
+    result = box_blur_result
+    canonical_shapes = {structural_signature(tree.expr)
+                        for tree in result.concrete_trees}
+    canonical_sizes = {tree.node_count for tree in result.concrete_trees}
+    # Without the sum-of-terms cancellation, the sliding-window trees grow
+    # with the column index: their raw sizes are all different shapes.
+    raw_sizes = {tree.raw_node_count for tree in result.concrete_trees}
+    rows = [
+        ["with canonicalization", len(canonical_shapes), min(canonical_sizes),
+         max(canonical_sizes)],
+        ["without cancellation (raw trees)", f">= {len(raw_sizes)}", min(raw_sizes),
+         max(raw_sizes)],
+    ]
+    print_table("Ablation: canonicalization on the sliding-window box blur",
+                ["configuration", "distinct tree shapes", "min nodes", "max nodes"], rows)
+    # One canonical shape per colour plane; raw trees span many shapes and
+    # grow toward the end of each scanline.
+    assert len(canonical_shapes) <= 3
+    assert len(raw_sizes) > 3 * len(canonical_shapes)
+    assert max(raw_sizes) > 3 * max(canonical_sizes)
+    assert all(all(c.support > 1 for c in k.clusters) for k in result.kernels)
+
+
+def test_ablation_lift_cost_benchmark(benchmark):
+    app = PhotoshopApp(width=12, height=9, seed=5)
+    result = benchmark(lambda: lift_filter(app, "box_blur"))
+    assert result.kernels

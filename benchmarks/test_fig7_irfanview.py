@@ -1,0 +1,54 @@
+"""Figure 7 (bottom): IrfanView filters vs. lifted Halide, standalone.
+
+The paper reports an average 4.97x speedup, dominated by the blur and sharpen
+filters whose original implementations run in x87 floating point with a
+per-invocation preparation cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rejuvenation import (
+    apply_lifted_irfanview,
+    legacy_irfanview_filter,
+    lift_irfanview_filter,
+)
+
+from conftest import print_table, time_callable
+
+PAPER_SPEEDUPS = {"invert": 2.03, "solarize": 2.16, "blur": 8.70, "sharpen": 6.98}
+FILTERS = list(PAPER_SPEEDUPS)
+
+
+@pytest.fixture(scope="module")
+def fig7_iv_rows(bench_interleaved):
+    rows = []
+    for name in FILTERS:
+        lifted = lift_irfanview_filter(name)
+        legacy_time = time_callable(lambda: legacy_irfanview_filter(name, bench_interleaved))
+        lifted_time = time_callable(lambda: apply_lifted_irfanview(lifted, name,
+                                                                   bench_interleaved))
+        speedup = legacy_time / lifted_time if lifted_time else float("inf")
+        rows.append([name, f"{legacy_time * 1000:.1f}", f"{lifted_time * 1000:.1f}",
+                     f"{speedup:.2f}x", f"{PAPER_SPEEDUPS[name]:.2f}x"])
+    return rows
+
+
+def test_fig7_irfanview_table(fig7_iv_rows):
+    print_table("Figure 7 (IrfanView): legacy vs lifted, standalone",
+                ["filter", "legacy ms", "lifted ms", "speedup", "paper speedup"],
+                fig7_iv_rows)
+    speedups = {row[0]: float(row[3].rstrip("x")) for row in fig7_iv_rows}
+    # Shape: the floating-point stencil filters (the paper's 8.7x/7.0x rows)
+    # improve, and they improve more than the pointwise filters.  The absolute
+    # ratios are compressed by the single-threaded NumPy backend standing in
+    # for Halide's vectorized/parallel code generation (see EXPERIMENTS.md).
+    assert speedups["blur"] > 1.0 and speedups["sharpen"] > 1.0, speedups
+    assert max(speedups["blur"], speedups["sharpen"]) > \
+        max(speedups["invert"], speedups["solarize"]), speedups
+
+
+def test_fig7_irfanview_blur_benchmark(benchmark, bench_interleaved):
+    lifted = lift_irfanview_filter("blur")
+    benchmark(lambda: apply_lifted_irfanview(lifted, "blur", bench_interleaved))

@@ -1,0 +1,61 @@
+"""Figure 7 (top): Photoshop filters vs. lifted Halide, standalone.
+
+For every fully-lifted filter the paper compares Photoshop's own execution
+against the lifted, autotuned Halide kernel running standalone.  Here the
+Photoshop side is the legacy runtime model (per-channel, tile-driven,
+unvectorized structure) and the lifted side realizes the actually-lifted
+symbolic kernels through the vectorized NumPy backend.  The expected *shape*:
+most filters speed up (the paper averages 1.75x), and box blur — whose
+sliding-window trick the lift cancels — slows down (0.80x in the paper).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rejuvenation import (
+    apply_lifted_photoshop,
+    legacy_photoshop_filter,
+    lift_photoshop_filter,
+)
+
+from conftest import print_table, time_callable
+
+PAPER_SPEEDUPS = {
+    "invert": 1.74, "blur": 2.62, "blur_more": 1.12, "sharpen": 2.46,
+    "sharpen_more": 2.08, "threshold": 1.42, "box_blur": 0.80,
+}
+FILTERS = list(PAPER_SPEEDUPS)
+PARAMS = {"threshold": 128, "brightness": 40}
+
+
+@pytest.fixture(scope="module")
+def fig7_rows(bench_planes):
+    rows = []
+    for name in FILTERS:
+        lifted = lift_photoshop_filter(name)
+        legacy_time = time_callable(lambda: legacy_photoshop_filter(name, bench_planes, PARAMS))
+        lifted_time = time_callable(lambda: apply_lifted_photoshop(lifted, name,
+                                                                   bench_planes, PARAMS))
+        speedup = legacy_time / lifted_time if lifted_time else float("inf")
+        rows.append([name, f"{legacy_time * 1000:.1f}", f"{lifted_time * 1000:.1f}",
+                     f"{speedup:.2f}x", f"{PAPER_SPEEDUPS[name]:.2f}x"])
+    return rows
+
+
+def test_fig7_photoshop_table(fig7_rows):
+    print_table("Figure 7 (Photoshop): legacy vs lifted, standalone",
+                ["filter", "legacy ms", "lifted ms", "speedup", "paper speedup"],
+                fig7_rows)
+    speedups = {row[0]: float(row[3].rstrip("x")) for row in fig7_rows}
+    wins = [n for n in FILTERS if n != "box_blur" and speedups[n] > 1.0]
+    # Shape of the figure: the lifted kernels win on most filters...
+    assert len(wins) >= 4, speedups
+    # ... and box blur does not enjoy a large win, because canonicalization
+    # undid the sliding-window optimization (paper: 0.80x).
+    assert speedups["box_blur"] < max(speedups[n] for n in wins), speedups
+
+
+def test_fig7_photoshop_blur_benchmark(benchmark, bench_planes):
+    lifted = lift_photoshop_filter("blur")
+    benchmark(lambda: apply_lifted_photoshop(lifted, "blur", bench_planes, PARAMS))

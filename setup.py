@@ -1,0 +1,21 @@
+"""Setuptools entry point.
+
+The offline environment has no `wheel` package, so editable installs must go
+through the legacy ``setup.py develop`` path; keep the metadata here.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of Helium: lifting stencil kernels from stripped x86 "
+        "binaries to Halide (PLDI 2015)"
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy"],
+    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

@@ -1,0 +1,11 @@
+"""repro — a reproduction of Helium (PLDI 2015).
+
+Helium lifts high-performance stencil kernels from stripped x86 binaries to
+Halide DSL code.  This package contains the full pipeline plus the substrates
+it needs: an x86 emulator with instrumentation hooks, simulated legacy
+applications whose filters are optimized assembly, the Helium code
+localization and expression extraction analyses, a mini-Halide DSL with a
+NumPy backend, and the rejuvenation / benchmarking harness.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,23 @@
+"""Simulated legacy applications whose kernels Helium lifts."""
+
+from .base import Application, AppRunResult, KnownData, KnownDataArray
+from .images import (
+    InterleavedBuffer,
+    InterleavedLayout,
+    PlanarLayout,
+    PlaneBuffer,
+    interleave,
+    make_gradient_planes,
+    make_test_planes,
+    pad_plane,
+)
+from .irfanview import IrfanViewApp
+from .minigmg import MiniGMGApp
+from .photoshop import FULLY_LIFTED, PARTIALLY_LIFTED, PhotoshopApp
+
+__all__ = [
+    "Application", "AppRunResult", "KnownData", "KnownDataArray",
+    "InterleavedBuffer", "InterleavedLayout", "PlanarLayout", "PlaneBuffer",
+    "interleave", "make_gradient_planes", "make_test_planes", "pad_plane",
+    "IrfanViewApp", "MiniGMGApp", "PhotoshopApp", "FULLY_LIFTED", "PARTIALLY_LIFTED",
+]

@@ -1,0 +1,110 @@
+"""Background (non-kernel) assembly routines executed on every application run.
+
+These stand in for the UI, file parsing and housekeeping code of the real
+applications: they execute in both the with-filter and without-filter runs, so
+coverage differencing screens them out (paper section 3.1), and they touch
+small scratch buffers so the memory-region analysis sees non-image regions.
+"""
+
+from __future__ import annotations
+
+BACKGROUND_ASSEMBLY = """
+bg_checksum:
+  push ebp
+  mov ebp, esp
+  push ebx
+  mov eax, dword ptr [ebp+0x8]
+  mov ecx, dword ptr [ebp+0xc]
+  xor edx, edx
+bg_checksum__loop:
+  test ecx, ecx
+  jz bg_checksum__done
+  movzx ebx, byte ptr [eax]
+  add edx, ebx
+  shl edx, 1
+  xor edx, ebx
+  inc eax
+  dec ecx
+  jmp bg_checksum__loop
+bg_checksum__done:
+  mov eax, edx
+  pop ebx
+  pop ebp
+  ret
+
+bg_memfill:
+  push ebp
+  mov ebp, esp
+  mov eax, dword ptr [ebp+0x8]
+  mov ecx, dword ptr [ebp+0xc]
+  mov edx, dword ptr [ebp+0x10]
+bg_memfill__loop:
+  test ecx, ecx
+  jz bg_memfill__done
+  mov byte ptr [eax], dl
+  inc eax
+  dec ecx
+  jmp bg_memfill__loop
+bg_memfill__done:
+  mov eax, dword ptr [ebp+0x8]
+  pop ebp
+  ret
+
+bg_scan:
+  push ebp
+  mov ebp, esp
+  push esi
+  mov esi, dword ptr [ebp+0x8]
+  mov ecx, dword ptr [ebp+0xc]
+  xor eax, eax
+bg_scan__loop:
+  test ecx, ecx
+  jz bg_scan__done
+  movzx edx, byte ptr [esi]
+  cmp edx, 0x80
+  jb bg_scan__skip
+  inc eax
+bg_scan__skip:
+  inc esi
+  dec ecx
+  jmp bg_scan__loop
+bg_scan__done:
+  pop esi
+  pop ebp
+  ret
+
+bg_feature_detect:
+  push ebp
+  mov ebp, esp
+  cpuid
+  mov eax, edx
+  pop ebp
+  ret
+
+bg_table_init:
+  push ebp
+  mov ebp, esp
+  mov eax, dword ptr [ebp+0x8]
+  mov ecx, dword ptr [ebp+0xc]
+  xor edx, edx
+bg_table_init__loop:
+  cmp edx, ecx
+  jge bg_table_init__done
+  mov byte ptr [eax+edx], dl
+  inc edx
+  jmp bg_table_init__loop
+bg_table_init__done:
+  pop ebp
+  ret
+"""
+
+
+def run_background_work(emulator, memory) -> None:
+    """Execute the background routines every application run performs."""
+    scratch = memory.alloc(512, name="bg_scratch")
+    memory.write_bytes(scratch, bytes((i * 37 + 11) & 0xFF for i in range(512)))
+    emulator.call_function("bg_feature_detect", [])
+    emulator.call_function("bg_table_init", [scratch + 256, 128])
+    emulator.call_function("bg_checksum", [scratch, 192])
+    emulator.call_function("bg_memfill", [scratch, 64, 0x5A])
+    emulator.call_function("bg_scan", [scratch, 160])

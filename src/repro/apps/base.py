@@ -1,0 +1,102 @@
+"""Common infrastructure for the simulated legacy applications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..x86 import Emulator, Memory, Program
+
+
+@dataclass
+class KnownDataArray:
+    """A piece of user-supplied (or user-captured) data Helium may search for.
+
+    ``array`` is a 2-D byte matrix (rows x row_bytes) for images, or a 1-D
+    array for linear data.  ``channels`` records how many interleaved channels
+    one pixel spans so dimensionality inference can report a 3-D buffer for
+    interleaved images (paper section 4.3).
+    """
+
+    name: str
+    array: np.ndarray
+    role: str                      # "input" or "output"
+    channels: int = 1
+    element_size: int = 1
+
+
+@dataclass
+class KnownData:
+    """The input/output data available for dimensionality inference."""
+
+    inputs: list[KnownDataArray] = field(default_factory=list)
+    outputs: list[KnownDataArray] = field(default_factory=list)
+
+    def all_arrays(self) -> list[KnownDataArray]:
+        return list(self.inputs) + list(self.outputs)
+
+
+@dataclass
+class AppRunResult:
+    """The artifacts of one program run under instrumentation."""
+
+    app_name: str
+    filter_name: Optional[str]
+    emulator: Emulator
+    memory: Memory
+    layout: object
+    outputs: dict
+
+
+class Application:
+    """Base class for the simulated applications.
+
+    Subclasses build a :class:`~repro.x86.Program` once (the "installed
+    binary") and create a fresh emulator + memory for every run, mirroring how
+    the real applications are launched repeatedly during Helium's workflow.
+    """
+
+    name = "app"
+
+    def __init__(self) -> None:
+        self._program: Program | None = None
+
+    # -- to be provided by subclasses ---------------------------------------
+
+    def build_program(self) -> Program:
+        raise NotImplementedError
+
+    def filters(self) -> list[str]:
+        raise NotImplementedError
+
+    def run(self, filter_name: Optional[str] = None, tools: Sequence = (),
+            intercept_cpuid: bool = True) -> AppRunResult:
+        raise NotImplementedError
+
+    def known_data(self, filter_name: str, run: AppRunResult) -> Optional[KnownData]:
+        """Input/output data available for this filter, or ``None``."""
+        return None
+
+    def data_size_estimate(self, filter_name: str) -> int:
+        """Estimated size of the data the kernel processes, in bytes."""
+        raise NotImplementedError
+
+    # -- shared helpers ------------------------------------------------------
+
+    @property
+    def program(self) -> Program:
+        if self._program is None:
+            self._program = self.build_program()
+        return self._program
+
+    def filter_entry(self, symbol: str) -> int:
+        return self.program.resolve(symbol)
+
+    def _new_emulator(self, tools: Sequence, intercept_cpuid: bool) -> Emulator:
+        emulator = Emulator(self.program, Memory())
+        emulator.cpuid_intercepted = intercept_cpuid
+        for tool in tools:
+            emulator.attach(tool)
+        return emulator

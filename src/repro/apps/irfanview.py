@@ -1,0 +1,115 @@
+"""An IrfanView-like legacy application.
+
+Stores images as interleaved RGB with padded, aligned scanlines, and computes
+its blur and sharpen filters in x87 floating point with weights read from a
+constant table, then rounds back to bytes — matching the paper's description
+of IrfanView's unusual, maximally-compatible code (section 6.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..kgen import (
+    FloatConvSpec,
+    PointwiseSpec,
+    emit_float_conv,
+    emit_pointwise,
+    reference_float_conv,
+    reference_pointwise,
+)
+from ..x86 import Module, Program
+from .background import BACKGROUND_ASSEMBLY, run_background_work
+from .base import Application, AppRunResult, KnownData, KnownDataArray
+from .images import InterleavedLayout, interleave, make_test_planes
+
+_BLUR_WEIGHTS = {(dy, dx): 1.0 / 9.0 for dy in (-1, 0, 1) for dx in (-1, 0, 1)}
+_SHARPEN_WEIGHTS = {(dy, dx): (2.2 if (dy, dx) == (0, 0) else -0.15)
+                    for dy in (-1, 0, 1) for dx in (-1, 0, 1)}
+
+FILTER_SPECS = {
+    "invert": PointwiseSpec("iv_invert", "invert", unroll=4),
+    "solarize": PointwiseSpec("iv_solarize", "solarize", unroll=2),
+    "blur": FloatConvSpec("iv_blur", weights=_BLUR_WEIGHTS),
+    "sharpen": FloatConvSpec("iv_sharpen", weights=_SHARPEN_WEIGHTS),
+}
+
+
+class IrfanViewApp(Application):
+    """The simulated IrfanView batch image converter."""
+
+    name = "irfanview"
+
+    def __init__(self, width: int = 20, height: int = 14, seed: int = 1) -> None:
+        super().__init__()
+        self.width = width
+        self.height = height
+        self.planes = make_test_planes(width, height, seed)
+
+    def build_program(self) -> Program:
+        filters = Module("iv_filters")
+        filters.append_assembly(emit_pointwise(FILTER_SPECS["invert"]))
+        filters.append_assembly(emit_pointwise(FILTER_SPECS["solarize"]))
+        filters.append_assembly(emit_float_conv(FILTER_SPECS["blur"]))
+        filters.append_assembly(emit_float_conv(FILTER_SPECS["sharpen"]))
+        background = Module.from_assembly("iv_main", BACKGROUND_ASSEMBLY)
+        return Program([background, filters]).load()
+
+    def filters(self) -> list[str]:
+        return list(FILTER_SPECS)
+
+    def filter_function_symbol(self, filter_name: str) -> str:
+        return FILTER_SPECS[filter_name].name
+
+    def data_size_estimate(self, filter_name: str) -> int:
+        return self.width * self.height * 3
+
+    def run(self, filter_name: Optional[str] = None, tools: Sequence = (),
+            intercept_cpuid: bool = True) -> AppRunResult:
+        emulator = self._new_emulator(tools, intercept_cpuid)
+        memory = emulator.memory
+        run_background_work(emulator, memory)
+        layout = InterleavedLayout.create(memory, self.planes)
+        if filter_name is not None:
+            self._dispatch(emulator, memory, layout, filter_name)
+        outputs = {"rgb": layout.output.read_interior(memory)}
+        return AppRunResult(app_name=self.name, filter_name=filter_name,
+                            emulator=emulator, memory=memory, layout=layout,
+                            outputs=outputs)
+
+    def _dispatch(self, emulator, memory, layout: InterleavedLayout,
+                  filter_name: str) -> None:
+        spec = FILTER_SPECS[filter_name]
+        width_bytes = layout.width * layout.channels
+        if isinstance(spec, PointwiseSpec):
+            emulator.call_function(spec.name, [
+                layout.input.interior, layout.output.interior,
+                width_bytes, layout.height, layout.stride, layout.stride, 0])
+            return
+        weights = spec.weight_table()
+        weights_addr = memory.alloc(weights.nbytes, name="iv_weights")
+        memory.write_bytes(weights_addr, weights.tobytes())
+        emulator.call_function(spec.name, [
+            layout.input.interior, layout.output.interior,
+            width_bytes, layout.height, layout.stride, layout.stride, weights_addr])
+
+    def reference_output(self, filter_name: str) -> np.ndarray:
+        spec = FILTER_SPECS[filter_name]
+        flat = interleave(self.planes)
+        if isinstance(spec, PointwiseSpec):
+            return reference_pointwise(spec, flat)
+        interleaved = np.stack([self.planes["r"], self.planes["g"], self.planes["b"]],
+                               axis=-1)
+        padded = np.pad(interleaved, ((1, 1), (1, 1), (0, 0)), mode="edge")
+        padded_flat = padded.reshape(padded.shape[0], padded.shape[1] * 3)
+        return reference_float_conv(spec, padded_flat)
+
+    def known_data(self, filter_name: str, run: AppRunResult) -> Optional[KnownData]:
+        data = KnownData()
+        data.inputs.append(KnownDataArray(name="input_rgb", array=interleave(self.planes),
+                                          role="input", channels=3))
+        data.outputs.append(KnownDataArray(name="output_rgb", array=run.outputs["rgb"],
+                                           role="output", channels=3))
+        return data

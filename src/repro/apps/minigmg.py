@@ -1,0 +1,129 @@
+"""A miniGMG-like high-performance-computing benchmark.
+
+Runs the weighted-Jacobi smooth stencil on a double-precision grid with one
+ghost cell per face and extra alignment padding between rows and planes.  The
+input is generated at runtime (there is no image file to search the memory
+dump for), so Helium must fall back to generic dimensionality inference
+(paper sections 4.3 and 6.1).  A "skip smooth" mode supports the coverage
+differencing run, mirroring the command-line option the authors added.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..kgen import Smooth3DSpec, emit_smooth3d, reference_smooth3d
+from ..x86 import Module, Program
+from .background import BACKGROUND_ASSEMBLY, run_background_work
+from .base import Application, AppRunResult, KnownData
+
+SMOOTH_SPEC = Smooth3DSpec("gmg_smooth")
+#: Extra float64 slots of padding appended to each row and plane so the grid
+#: has gaps between dimensions (generic inference needs them).
+ROW_PAD_ELEMENTS = 2
+PLANE_PAD_ROWS = 1
+
+
+@dataclass
+class GridBuffers:
+    """Addresses and geometry of the ghosted grids in simulated memory."""
+
+    in_base: int
+    out_base: int
+    nx: int
+    ny: int
+    nz: int
+    jstride: int          # bytes between rows
+    kstride: int          # bytes between planes
+
+    @property
+    def interior_in(self) -> int:
+        return self.in_base + self.kstride + self.jstride + 8
+
+    @property
+    def interior_out(self) -> int:
+        return self.out_base + self.kstride + self.jstride + 8
+
+
+class MiniGMGApp(Application):
+    """The simulated miniGMG benchmark."""
+
+    name = "minigmg"
+
+    def __init__(self, nx: int = 8, ny: int = 6, nz: int = 4, seed: int = 7) -> None:
+        super().__init__()
+        self.nx = nx
+        self.ny = ny
+        self.nz = nz
+        rng = np.random.default_rng(seed)
+        self.grid = rng.uniform(-1.0, 1.0, size=(nz + 2, ny + 2, nx + 2))
+
+    def build_program(self) -> Program:
+        kernels = Module.from_assembly("gmg_kernels", emit_smooth3d(SMOOTH_SPEC))
+        background = Module.from_assembly("gmg_main", BACKGROUND_ASSEMBLY)
+        return Program([background, kernels]).load()
+
+    def filters(self) -> list[str]:
+        return ["smooth"]
+
+    def filter_function_symbol(self, filter_name: str) -> str:
+        return SMOOTH_SPEC.name
+
+    def data_size_estimate(self, filter_name: str) -> int:
+        return self.nx * self.ny * self.nz * 8
+
+    # -- execution ---------------------------------------------------------
+
+    def _write_grid(self, memory) -> GridBuffers:
+        nz, ny, nx = self.grid.shape
+        jstride = (nx + ROW_PAD_ELEMENTS) * 8
+        kstride = (ny + PLANE_PAD_ROWS) * jstride
+        size = nz * kstride
+        in_base = memory.alloc(size, align=64, name="gmg_in")
+        out_base = memory.alloc(size, align=64, name="gmg_out")
+        for k in range(nz):
+            for j in range(ny):
+                row_addr = in_base + k * kstride + j * jstride
+                memory.write_bytes(row_addr, self.grid[k, j].astype("<f8").tobytes())
+        return GridBuffers(in_base=in_base, out_base=out_base,
+                           nx=self.nx, ny=self.ny, nz=self.nz,
+                           jstride=jstride, kstride=kstride)
+
+    def run(self, filter_name: Optional[str] = None, tools: Sequence = (),
+            intercept_cpuid: bool = True) -> AppRunResult:
+        emulator = self._new_emulator(tools, intercept_cpuid)
+        memory = emulator.memory
+        run_background_work(emulator, memory)
+        grids = self._write_grid(memory)
+        if filter_name is not None:
+            coeffs = SMOOTH_SPEC.coefficient_block()
+            coeffs_addr = memory.alloc(coeffs.nbytes, name="gmg_coeffs")
+            memory.write_bytes(coeffs_addr, coeffs.tobytes())
+            emulator.call_function(SMOOTH_SPEC.name, [
+                grids.interior_in, grids.interior_out,
+                grids.nx, grids.ny, grids.nz,
+                grids.jstride, grids.kstride, coeffs_addr])
+        outputs = {"grid": self._read_output(memory, grids)}
+        return AppRunResult(app_name=self.name, filter_name=filter_name,
+                            emulator=emulator, memory=memory, layout=grids,
+                            outputs=outputs)
+
+    def _read_output(self, memory, grids: GridBuffers) -> np.ndarray:
+        out = np.zeros((grids.nz, grids.ny, grids.nx), dtype=np.float64)
+        for k in range(grids.nz):
+            for j in range(grids.ny):
+                addr = grids.interior_out + k * grids.kstride + j * grids.jstride
+                row = memory.read_bytes(addr, grids.nx * 8)
+                out[k, j] = np.frombuffer(row, dtype="<f8")
+        return out
+
+    def reference_output(self, filter_name: str = "smooth") -> np.ndarray:
+        return reference_smooth3d(SMOOTH_SPEC, self.grid)
+
+    def known_data(self, filter_name: str, run: AppRunResult) -> Optional[KnownData]:
+        # The benchmark generates its data at run time; Helium has nothing to
+        # search the memory dump for and must use generic inference.
+        return None

@@ -1,0 +1,30 @@
+"""Helium's core analyses: code localization and expression extraction."""
+
+from .buffers import BufferDim, BufferSpec, infer_buffer_generic, infer_buffer_with_known_data
+from .codegen import LiftedKernel, generate_funcs, generate_halide_cpp
+from .forward import ForwardAnalysis, forward_analyze
+from .localization import LocalizationError, LocalizationResult, localize
+from .pipeline import HeliumLifter, LiftResult, lift_filter
+from .regions import AccessSample, MemoryRegion, reconstruct_regions
+from .symbolic import (
+    AbstractTree,
+    SymbolicLiftError,
+    SymbolicTree,
+    TreeCluster,
+    abstract_tree,
+    cluster_trees,
+    lift_cluster,
+)
+from .trees import BufferEntry, BufferMap, ConcreteTree, PredicateInfo, TreeBuilder
+
+__all__ = [
+    "BufferDim", "BufferSpec", "infer_buffer_generic", "infer_buffer_with_known_data",
+    "LiftedKernel", "generate_funcs", "generate_halide_cpp",
+    "ForwardAnalysis", "forward_analyze",
+    "LocalizationError", "LocalizationResult", "localize",
+    "HeliumLifter", "LiftResult", "lift_filter",
+    "AccessSample", "MemoryRegion", "reconstruct_regions",
+    "AbstractTree", "SymbolicLiftError", "SymbolicTree", "TreeCluster",
+    "abstract_tree", "cluster_trees", "lift_cluster",
+    "BufferEntry", "BufferMap", "ConcreteTree", "PredicateInfo", "TreeBuilder",
+]

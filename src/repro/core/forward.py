@@ -1,0 +1,125 @@
+"""Forward analysis for input-dependent conditionals and indirect accesses.
+
+Implements paper section 4.6: propagate the influence of input-buffer data
+forward through the trace (through registers, memory and the flags register),
+mark the conditional jumps whose outcome depends on the input, flag
+instructions that access memory through input-derived indices (lookup tables,
+histograms), and compute — per static instruction — the input-dependent branch
+outcomes required to reach it, which the tree-building pass uses to attach
+predicate trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dynamo.records import InstructionTrace
+from ..x86.instructions import CONDITIONAL_JUMPS
+from ..x86.registers import FLAGS_ADDRESS, register_address
+from .opsem import analyze_record, compute_fpu_tops
+from .regions import MemoryRegion
+
+#: One observed outcome of an input-dependent conditional: (site, taken).
+BranchOutcome = tuple[int, bool]
+
+
+@dataclass
+class ForwardAnalysis:
+    """Results of the forward pass."""
+
+    input_reading_instructions: set[int] = field(default_factory=set)
+    input_dependent_conditionals: set[int] = field(default_factory=set)
+    indirect_access_instructions: set[int] = field(default_factory=set)
+    indirect_access_addresses: set[int] = field(default_factory=set)
+    #: Static instruction -> branch outcomes required to reach it (control
+    #: dependence approximation); empty set means unconditional.
+    annotations: dict[int, frozenset[BranchOutcome]] = field(default_factory=dict)
+    fpu_tops: list[int] = field(default_factory=list)
+
+    def annotation(self, address: int) -> frozenset[BranchOutcome]:
+        return self.annotations.get(address, frozenset())
+
+
+def _taint_bytes(location: tuple[int, int]) -> range:
+    address, width = location
+    return range(address, address + width)
+
+
+def forward_analyze(trace: InstructionTrace, input_regions: list[MemoryRegion]
+                    ) -> ForwardAnalysis:
+    """Run the forward pass over a captured instruction trace."""
+    result = ForwardAnalysis()
+    result.fpu_tops = compute_fpu_tops(trace.records)
+    tainted: set[int] = set()
+    flags_location = (FLAGS_ADDRESS, 4)
+    #: Most recent outcome (and trace index) per input-dependent branch site,
+    #: reset at every invocation of the filter function.
+    current_outcomes: dict[int, bool] = {}
+    invocation_ends = {end for _, end in trace.invocation_bounds}
+
+    def in_input_region(address: int, width: int) -> bool:
+        return any(region.contains(address) for region in input_regions)
+
+    records = trace.records
+    for index, record in enumerate(records):
+        if index in invocation_ends or (trace.invocation_bounds and
+                                        any(start == index for start, _ in trace.invocation_bounds)):
+            current_outcomes = {}
+        effects = analyze_record(record, result.fpu_tops[index])
+        static = record.address
+
+        # -- control-dependence annotation -------------------------------
+        context = frozenset(current_outcomes.items())
+        previous = result.annotations.get(static)
+        result.annotations[static] = context if previous is None else (previous & context)
+
+        # -- taint sources and propagation --------------------------------
+        reads_input = any(not access.is_write and in_input_region(access.address, access.width)
+                          for access in record.accesses)
+        if reads_input:
+            result.input_reading_instructions.add(static)
+
+        source_tainted = reads_input or any(
+            byte in tainted for location in effects.reads for byte in _taint_bytes(location))
+        flags_tainted_in = FLAGS_ADDRESS in tainted
+
+        # Indirect access: a memory operand whose address registers carry
+        # input-derived values.
+        if effects.address_registers:
+            address_regs_tainted = any(
+                byte in tainted
+                for name in effects.address_registers
+                for byte in range(register_address(name), register_address(name) + 4))
+            if address_regs_tainted:
+                result.indirect_access_instructions.add(static)
+                for access in record.accesses:
+                    result.indirect_access_addresses.add(access.address)
+
+        # Input-dependent conditionals: conditional jumps reading tainted flags.
+        mnemonic = record.mnemonic
+        if mnemonic in CONDITIONAL_JUMPS and flags_tainted_in:
+            result.input_dependent_conditionals.add(static)
+            taken = _branch_taken(records, index)
+            current_outcomes[static] = taken
+
+        taint_in = source_tainted or (effects.reads_flags and flags_tainted_in)
+        if taint_in:
+            for location in effects.writes:
+                tainted.update(_taint_bytes(location))
+            if effects.writes_flags:
+                tainted.add(FLAGS_ADDRESS)
+        else:
+            for location in effects.writes:
+                tainted.difference_update(_taint_bytes(location))
+            if effects.writes_flags:
+                tainted.discard(FLAGS_ADDRESS)
+    return result
+
+
+def _branch_taken(records, index: int) -> bool:
+    """Whether the conditional jump at ``index`` was taken in the trace."""
+    record = records[index]
+    if index + 1 >= len(records):
+        return False
+    fallthrough = record.address + 4
+    return records[index + 1].address != fallthrough

@@ -1,0 +1,334 @@
+"""Abstraction, clustering and symbolic tree generation.
+
+Covers paper sections 4.8-4.10: concrete trees are abstracted by converting
+absolute addresses into buffer coordinates, clustered by structure (including
+their predicate trees), and each cluster's index functions are recovered by
+solving linear systems built from randomly chosen member trees, yielding
+symbolic trees over loop variables ``x_0 ... x_{D-1}``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..ir import (
+    BinOp,
+    BufferAccess,
+    Const,
+    Expr,
+    MemLoad,
+    Op,
+    Param,
+    Var,
+    canonicalize,
+    structural_signature,
+)
+from .buffers import BufferSpec
+from .trees import ConcreteTree, PredicateInfo
+
+
+class SymbolicLiftError(Exception):
+    """Raised when index functions cannot be recovered (non-affine, rank...)."""
+
+
+# ---------------------------------------------------------------------------
+# Abstraction: concrete -> abstract trees
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AbstractTree:
+    """A tree whose leaves are buffer accesses with integer indices."""
+
+    buffer: str
+    root_indices: tuple[int, ...]
+    expr: Expr
+    predicates: tuple[PredicateInfo, ...]
+    root_index_expr: Optional[Expr] = None
+
+    def signature(self) -> tuple:
+        return (self.buffer,
+                structural_signature(self.expr),
+                tuple(p.taken for p in self.predicates),
+                tuple(structural_signature(p.condition) for p in self.predicates),
+                structural_signature(self.root_index_expr) if self.root_index_expr is not None else None)
+
+
+def _abstract_expr(expr: Expr, specs: dict[str, BufferSpec]) -> Expr:
+    """Replace MemLoad leaves with BufferAccess leaves using buffer coordinates."""
+
+    def rewrite(node: Expr) -> Expr:
+        if isinstance(node, MemLoad):
+            for spec in specs.values():
+                if spec.contains(node.address):
+                    indices = spec.indices_of(node.address)
+                    return BufferAccess(spec.name, [Const(i) for i in indices], node.dtype)
+            return node
+        return node
+
+    return expr.transform(rewrite)
+
+
+def abstract_tree(tree: ConcreteTree, specs: dict[str, BufferSpec]) -> AbstractTree:
+    """Abstract one concrete tree (paper's "buffer inference")."""
+    spec = specs[tree.buffer]
+    root_indices = spec.indices_of(tree.root_address)
+    expr = _abstract_expr(tree.expr, specs)
+    predicates = tuple(PredicateInfo(p.site, p.taken, _abstract_expr(p.condition, specs))
+                       for p in tree.predicates)
+    root_index_expr = None
+    if tree.root_index_expr is not None:
+        root_index_expr = _abstract_expr(tree.root_index_expr, specs)
+    return AbstractTree(buffer=tree.buffer, root_indices=root_indices, expr=expr,
+                        predicates=predicates, root_index_expr=root_index_expr)
+
+
+# ---------------------------------------------------------------------------
+# Clustering
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TreeCluster:
+    """Trees that are identical modulo constants and leaf addresses."""
+
+    signature: tuple
+    trees: list[AbstractTree] = field(default_factory=list)
+
+    @property
+    def buffer(self) -> str:
+        return self.trees[0].buffer
+
+    @property
+    def is_indirect(self) -> bool:
+        return self.trees[0].root_index_expr is not None
+
+    def is_recursive(self) -> bool:
+        return any(isinstance(node, BufferAccess) and node.buffer == self.buffer
+                   for node in self.trees[0].expr.walk())
+
+
+def cluster_trees(trees: list[AbstractTree]) -> list[TreeCluster]:
+    clusters: dict[tuple, TreeCluster] = {}
+    for tree in trees:
+        signature = tree.signature()
+        cluster = clusters.get(signature)
+        if cluster is None:
+            cluster = clusters[signature] = TreeCluster(signature=signature)
+        cluster.trees.append(tree)
+    return list(clusters.values())
+
+
+# ---------------------------------------------------------------------------
+# Symbolic tree generation (the linear solve of section 4.10)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SymbolicTree:
+    """One cluster lifted to a symbolic computational tree."""
+
+    buffer: str
+    dims: int
+    expr: Expr
+    predicates: tuple[Expr, ...]
+    #: Number of member trees the cluster had (coverage information).
+    support: int
+    is_reduction: bool = False
+    reduction_source: Optional[str] = None
+    root_index_expr: Optional[Expr] = None
+
+
+def _solve_affine(rows: list[tuple[tuple[int, ...], int]], dims: int) -> list[int]:
+    """Solve ``[x;1] . a = y`` for integer affine coefficients.
+
+    Raises :class:`SymbolicLiftError` when the system is rank deficient (in a
+    way that leaves the solution ambiguous) or the relationship is not affine
+    with integer coefficients.
+    """
+    matrix = np.array([list(x) + [1] for x, _ in rows], dtype=np.float64)
+    rhs = np.array([y for _, y in rows], dtype=np.float64)
+    # Constant columns (a dimension that never varies) are handled by the
+    # caller; lstsq still gives the minimum-norm solution here.
+    solution, residuals, rank, _ = np.linalg.lstsq(matrix, rhs, rcond=None)
+    prediction = matrix @ solution
+    if not np.allclose(prediction, rhs, atol=1e-6):
+        raise SymbolicLiftError("index function is not affine in the output indices")
+    rounded = np.rint(solution)
+    if not np.allclose(rounded, solution, atol=1e-6):
+        # Degenerate systems (e.g. constant columns) can give non-integer
+        # minimum-norm solutions; retry after dropping never-varying columns.
+        rounded = _solve_with_fixed_columns(matrix, rhs, dims)
+        if rounded is None:
+            raise SymbolicLiftError("affine coefficients are not integers")
+    coefficients = [int(v) for v in rounded]
+    check = matrix @ np.array(coefficients, dtype=np.float64)
+    if not np.allclose(check, rhs, atol=1e-6):
+        raise SymbolicLiftError("integer rounding broke the affine fit")
+    return coefficients
+
+
+def _solve_with_fixed_columns(matrix: np.ndarray, rhs: np.ndarray, dims: int
+                              ) -> Optional[np.ndarray]:
+    varying = [d for d in range(dims) if not np.all(matrix[:, d] == matrix[0, d])]
+    reduced = matrix[:, varying + [dims]]
+    solution, _, _, _ = np.linalg.lstsq(reduced, rhs, rcond=None)
+    rounded = np.rint(solution)
+    if not np.allclose(reduced @ rounded, rhs, atol=1e-6):
+        return None
+    full = np.zeros(dims + 1)
+    for position, dim in enumerate(varying):
+        full[dim] = rounded[position]
+    full[dims] = rounded[-1]
+    return full
+
+
+def _affine_expr(coefficients: list[int], variables: list[Var]) -> Expr:
+    expr: Expr = Const(coefficients[-1])
+    for coefficient, variable in zip(coefficients, variables):
+        if coefficient == 0:
+            continue
+        term: Expr = variable if coefficient == 1 else \
+            BinOp(Op.MUL, Const(coefficient), variable)
+        expr = term if (isinstance(expr, Const) and expr.value == 0) else \
+            BinOp(Op.ADD, expr, term)
+    return canonicalize(expr)
+
+
+def _parallel_nodes(trees: list[AbstractTree], getter) -> list[list[Expr]]:
+    """Walk the same positions of structurally identical trees in parallel."""
+    walks = [list(getter(tree).walk()) for tree in trees]
+    length = len(walks[0])
+    if any(len(walk) != length for walk in walks):
+        raise SymbolicLiftError("cluster trees do not have identical structure")
+    return [[walk[i] for walk in walks] for i in range(length)]
+
+
+def _lift_cluster_expr(cluster: TreeCluster, sample: list[AbstractTree],
+                       variables: list[Var], getter) -> Expr:
+    """Lift one expression position-by-position over the sampled trees."""
+    dims = len(variables)
+    access_vectors = [tuple(tree.root_indices) for tree in sample]
+    template = getter(sample[0])
+    positions = _parallel_nodes(sample, getter)
+    replacements: dict[int, Expr] = {}
+
+    for index, nodes in enumerate(positions):
+        first = nodes[0]
+        if isinstance(first, BufferAccess) and all(isinstance(i, Const) for i in first.indices):
+            new_indices = []
+            for dim in range(len(first.indices)):
+                rows = [(access_vectors[t], int(nodes[t].indices[dim].value))
+                        for t in range(len(sample))]
+                values = {y for _, y in rows}
+                if len(values) == 1:
+                    # Fixed dimension: keep the constant index.
+                    new_indices.append(Const(values.pop()))
+                    continue
+                coefficients = _solve_affine(rows, dims)
+                new_indices.append(_affine_expr(coefficients, variables))
+            replacements[index] = BufferAccess(first.buffer, new_indices, first.dtype)
+        elif isinstance(first, Const) and not first.dtype.is_float:
+            values = {node.value for node in nodes}
+            if len(values) == 1:
+                continue
+            rows = [(access_vectors[t], int(nodes[t].value)) for t in range(len(sample))]
+            coefficients = _solve_affine(rows, dims)
+            replacements[index] = _affine_expr(coefficients, variables)
+        elif isinstance(first, Param):
+            if any(node.name != first.name for node in nodes):
+                raise SymbolicLiftError("parameter leaves differ across the cluster")
+
+    # Rebuild the template with the replacements applied by position.
+    counter = {"i": -1}
+
+    def rewrite(node: Expr) -> Expr:
+        return node
+
+    def rebuild(node: Expr) -> Expr:
+        counter["i"] += 1
+        my_index = counter["i"]
+        children = [rebuild(child) for child in node.children]
+        rebuilt = node.with_children(children) if children else node
+        return replacements.get(my_index, rebuilt)
+
+    # walk() is pre-order; rebuild mirrors it.
+    counter["i"] = -1
+    return canonicalize(rebuild(template))
+
+
+def lift_cluster(cluster: TreeCluster, specs: dict[str, BufferSpec],
+                 rng: random.Random | None = None) -> SymbolicTree:
+    """Produce the symbolic tree for one cluster."""
+    rng = rng or random.Random(0)
+    spec = specs[cluster.buffer]
+    dims = spec.dimensionality
+    variables = [Var(f"x_{d}") for d in range(dims)]
+
+    if cluster.is_indirect:
+        return _lift_indirect_cluster(cluster, specs, variables)
+
+    sample_size = min(len(cluster.trees), max(2 * dims + 1, dims + 1))
+    sample = rng.sample(cluster.trees, sample_size) if len(cluster.trees) > sample_size \
+        else list(cluster.trees)
+    if len(sample) < dims + 1 and len({t.root_indices for t in cluster.trees}) > 1:
+        # Not enough distinct trees to constrain the affine solve.
+        sample = list(cluster.trees)
+
+    expr = _lift_cluster_expr(cluster, sample, variables, lambda t: t.expr)
+    predicates = []
+    for p_index in range(len(sample[0].predicates)):
+        predicates.append(_lift_cluster_expr(
+            cluster, sample, variables, lambda t, i=p_index: t.predicates[i].condition))
+    return SymbolicTree(buffer=cluster.buffer, dims=dims, expr=expr,
+                        predicates=tuple(predicates), support=len(cluster.trees),
+                        is_reduction=cluster.is_recursive())
+
+
+def _lift_indirect_cluster(cluster: TreeCluster, specs: dict[str, BufferSpec],
+                           variables: list[Var]) -> SymbolicTree:
+    """Histogram-style clusters: the root is indexed by another buffer's values.
+
+    The reduction domain is the bounds of the buffer whose values index the
+    root (paper section 4.9); the root index expression and the right-hand
+    side are rewritten so the inner buffer access uses reduction variables.
+    """
+    template = cluster.trees[0]
+    source_access = None
+    for node in template.root_index_expr.walk():
+        if isinstance(node, BufferAccess):
+            source_access = node
+            break
+    if source_access is None:
+        raise SymbolicLiftError("indirect root does not reference another buffer")
+    source_spec = specs[source_access.buffer]
+    reduction_vars = [Var(f"r_{d}") for d in range(source_spec.dimensionality)]
+    generic_source = BufferAccess(source_access.buffer,
+                                  reduction_vars, source_access.dtype)
+
+    def replace_source(expr: Expr) -> Expr:
+        def rewrite(node: Expr) -> Expr:
+            if isinstance(node, BufferAccess) and node.buffer == source_access.buffer:
+                return generic_source
+            return node
+        return canonicalize(expr.transform(rewrite))
+
+    root_index = replace_source(template.root_index_expr)
+    rhs = replace_source(template.expr)
+
+    def replace_self(expr: Expr) -> Expr:
+        def rewrite(node: Expr) -> Expr:
+            if isinstance(node, BufferAccess) and node.buffer == cluster.buffer:
+                return BufferAccess(cluster.buffer, [root_index], node.dtype)
+            return node
+        return expr.transform(rewrite)
+
+    rhs = replace_self(rhs)
+    return SymbolicTree(buffer=cluster.buffer, dims=specs[cluster.buffer].dimensionality,
+                        expr=rhs, predicates=(), support=len(cluster.trees),
+                        is_reduction=True, reduction_source=source_access.buffer,
+                        root_index_expr=root_index)

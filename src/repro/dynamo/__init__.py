@@ -1,0 +1,20 @@
+"""Dynamic binary instrumentation tools (DynamoRIO stand-in).
+
+The tools in this package attach to the x86 emulator and produce exactly the
+artifacts Helium's analyses consume: basic-block coverage sets, block
+profiles with predecessors and call targets, memory traces, and detailed
+instruction traces with page-granularity memory dumps.
+"""
+
+from .base import Tool
+from .cfg import DynamicCFG
+from .coverage import CoverageTool, coverage_difference
+from .itrace import InstructionTraceTool
+from .profiler import MemoryTraceTool, ProfileTool
+from .records import BlockProfile, InstructionTrace, MemoryTraceRecord, TraceRecord
+
+__all__ = [
+    "Tool", "DynamicCFG", "CoverageTool", "coverage_difference",
+    "InstructionTraceTool", "MemoryTraceTool", "ProfileTool",
+    "BlockProfile", "InstructionTrace", "MemoryTraceRecord", "TraceRecord",
+]

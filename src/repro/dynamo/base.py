@@ -1,0 +1,24 @@
+"""Base class for instrumentation tools (DynamoRIO "clients")."""
+
+from __future__ import annotations
+
+
+class Tool:
+    """An instrumentation client attached to an :class:`~repro.x86.Emulator`.
+
+    Subclasses override only the callbacks they need; the emulator inspects
+    which methods exist and skips the others, keeping the per-instruction
+    overhead proportional to what the tool actually observes.
+
+    Available callbacks::
+
+        attached(emu)                        # tool attached to an emulator
+        on_block(block_addr, prev_block, emu)
+        on_call(target_addr, call_site, emu)
+        on_ret(return_addr, emu)
+        on_instruction(ins, emu)             # before execution
+        on_instruction_done(ins, accesses, emu)  # after execution
+    """
+
+    def attached(self, emu) -> None:
+        self.emulator = emu

@@ -1,0 +1,29 @@
+"""Basic-block code coverage collection (paper section 3.1).
+
+Two coverage runs — one exercising the target filter, one not — are diffed to
+obtain a first approximation of where the kernel lives.
+"""
+
+from __future__ import annotations
+
+from .base import Tool
+
+
+class CoverageTool(Tool):
+    """Records the set of basic-block start addresses executed."""
+
+    def __init__(self, module_filter: set[str] | None = None) -> None:
+        self.blocks: set[int] = set()
+        self.module_filter = module_filter
+
+    def on_block(self, block_addr: int, prev_block, emu) -> None:
+        if self.module_filter is not None:
+            module = emu.program.module_of.get(block_addr)
+            if module not in self.module_filter:
+                return
+        self.blocks.add(block_addr)
+
+
+def coverage_difference(with_kernel: set[int], without_kernel: set[int]) -> set[int]:
+    """Blocks that executed only in the run that exercised the kernel."""
+    return set(with_kernel) - set(without_kernel)

@@ -1,0 +1,85 @@
+"""Instruction trace capture and memory dumping (paper section 4.1).
+
+During expression extraction Helium traces every dynamic instruction executed
+from the filter function's entry to its exit (including callees), records the
+absolute address of every memory access together with the address expression
+of indirect operands, and dumps — at page granularity — all memory touched by
+the candidate instructions found during localization.  Read pages are dumped
+immediately; written pages are dumped at the filter function's exit so the
+dump contains the final output.
+"""
+
+from __future__ import annotations
+
+from ..x86.memory import PAGE_SIZE
+from .base import Tool
+from .records import InstructionTrace, TraceRecord
+
+_PAGE_MASK = ~(PAGE_SIZE - 1)
+
+
+class InstructionTraceTool(Tool):
+    """Captures an :class:`InstructionTrace` for one filter function."""
+
+    def __init__(self, entry_address: int,
+                 candidate_instructions: set[int] | None = None) -> None:
+        self.entry_address = entry_address
+        self.candidate_instructions = candidate_instructions
+        self.trace = InstructionTrace(entry_address=entry_address)
+        self._depth = 0
+        self._active = False
+        self._invocation_start = 0
+        self._pending_write_pages: set[int] = set()
+
+    # -- activation -----------------------------------------------------
+
+    def on_call(self, target_addr: int, call_site: int, emu) -> None:
+        if self._active:
+            self._depth += 1
+        elif target_addr == self.entry_address:
+            self._activate(emu)
+
+    def on_block(self, block_addr: int, prev_block, emu) -> None:
+        # The filter function may also be entered by a jump (tail call) or be
+        # the start address of the run; activate in that case as well.
+        if not self._active and block_addr == self.entry_address:
+            self._activate(emu)
+
+    def _activate(self, emu) -> None:
+        self._active = True
+        self._depth = 1
+        self._invocation_start = len(self.trace.records)
+        if not self.trace.entry_registers:
+            self.trace.entry_registers = emu.cpu.snapshot_regs()
+
+    def on_ret(self, return_addr: int, emu) -> None:
+        if not self._active:
+            return
+        self._depth -= 1
+        if self._depth <= 0:
+            self._active = False
+            self.trace.invocation_bounds.append(
+                (self._invocation_start, len(self.trace.records)))
+            self._dump_pending_writes(emu)
+
+    # -- per-instruction recording ------------------------------------------
+
+    def on_instruction_done(self, ins, accesses, emu) -> None:
+        if not self._active:
+            return
+        trace = self.trace
+        trace.records.append(TraceRecord(len(trace.records), ins, accesses))
+        if self.candidate_instructions is not None and \
+                ins.address not in self.candidate_instructions:
+            return
+        for access in accesses:
+            page = access.address & _PAGE_MASK
+            if access.is_write:
+                self._pending_write_pages.add(page)
+            elif page not in trace.memory_dump:
+                trace.memory_dump[page] = bytes(emu.memory.read_bytes(page, PAGE_SIZE))
+
+    def _dump_pending_writes(self, emu) -> None:
+        for page in sorted(self._pending_write_pages):
+            self.trace.memory_dump[page] = bytes(emu.memory.read_bytes(page, PAGE_SIZE))
+        self._pending_write_pages.clear()

@@ -1,0 +1,75 @@
+"""Detailed basic-block profiling restricted to the coverage difference.
+
+This is the third program run in the paper's workflow (section 3.1): for the
+blocks that survived coverage differencing, collect execution counts,
+predecessor blocks and call targets (used to build a dynamic CFG), plus a
+memory trace of every access those blocks perform (used for buffer structure
+reconstruction and candidate-instruction detection).
+"""
+
+from __future__ import annotations
+
+from .base import Tool
+from .records import BlockProfile, MemoryTraceRecord
+
+
+class ProfileTool(Tool):
+    """Collects :class:`BlockProfile` data for a set of instrumented blocks."""
+
+    def __init__(self, instrumented_blocks: set[int] | None = None) -> None:
+        self.instrumented_blocks = instrumented_blocks
+        self.profile = BlockProfile()
+        self._call_stack: list[int] = []
+        self._active = False
+
+    def _instruments(self, block_addr: int) -> bool:
+        return self.instrumented_blocks is None or block_addr in self.instrumented_blocks
+
+    def on_block(self, block_addr: int, prev_block, emu) -> None:
+        if not self._call_stack:
+            # Treat the run's start address as the outermost "function" so
+            # every profiled block has a containing function.
+            self._call_stack.append(block_addr)
+        self._active = self._instruments(block_addr)
+        if not self._active:
+            return
+        profile = self.profile
+        profile.counts[block_addr] = profile.counts.get(block_addr, 0) + 1
+        if prev_block is not None:
+            profile.predecessors.setdefault(block_addr, set()).add(prev_block)
+        if self._call_stack:
+            profile.block_function.setdefault(block_addr, self._call_stack[-1])
+
+    def on_call(self, target_addr: int, call_site: int, emu) -> None:
+        if target_addr is None:
+            return
+        if self._instruments(target_addr) or self._active:
+            self.profile.call_targets[target_addr] = \
+                self.profile.call_targets.get(target_addr, 0) + 1
+        self._call_stack.append(target_addr)
+
+    def on_ret(self, return_addr: int, emu) -> None:
+        if self._call_stack:
+            self._call_stack.pop()
+
+
+class MemoryTraceTool(Tool):
+    """Collects the coarse memory trace for instructions in instrumented blocks."""
+
+    def __init__(self, instrumented_blocks: set[int] | None = None) -> None:
+        self.instrumented_blocks = instrumented_blocks
+        self.records: list[MemoryTraceRecord] = []
+        self._active = instrumented_blocks is None
+
+    def on_block(self, block_addr: int, prev_block, emu) -> None:
+        if self.instrumented_blocks is not None:
+            self._active = block_addr in self.instrumented_blocks
+
+    def on_instruction_done(self, ins, accesses, emu) -> None:
+        if not self._active or not accesses:
+            return
+        records = self.records
+        address = ins.address
+        for access in accesses:
+            records.append(MemoryTraceRecord(address, access.address,
+                                             access.width, access.is_write))

@@ -1,0 +1,97 @@
+"""Record types produced by the instrumentation tools.
+
+These are the dynamically-captured artifacts of Figure 1 in the paper: code
+coverage sets, basic-block profiles, memory traces, instruction traces and
+page-granularity memory dumps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..x86.emulator import MemoryAccess
+from ..x86.instructions import Instruction
+
+
+@dataclass(frozen=True)
+class MemoryTraceRecord:
+    """One entry of the (coarse) memory trace collected during localization.
+
+    Matches section 3.1: instruction address, absolute memory address, access
+    width and direction.
+    """
+
+    instruction_address: int
+    address: int
+    width: int
+    is_write: bool
+
+
+@dataclass
+class BlockProfile:
+    """Basic-block execution profile collected during the screening run."""
+
+    counts: dict[int, int] = field(default_factory=dict)
+    predecessors: dict[int, set[int]] = field(default_factory=dict)
+    call_targets: dict[int, int] = field(default_factory=dict)
+    #: Dynamic containing-function assignment: block address -> function entry.
+    block_function: dict[int, int] = field(default_factory=dict)
+
+    def blocks(self) -> set[int]:
+        return set(self.counts)
+
+
+@dataclass
+class TraceRecord:
+    """One dynamic instruction in the detailed trace (section 4.1)."""
+
+    index: int
+    instruction: Instruction
+    accesses: tuple[MemoryAccess, ...]
+
+    @property
+    def address(self) -> int:
+        return self.instruction.address
+
+    @property
+    def mnemonic(self) -> str:
+        return self.instruction.mnemonic
+
+
+@dataclass
+class InstructionTrace:
+    """The detailed trace of every execution of the filter function.
+
+    Contains the dynamic instruction records, the page-granularity memory dump
+    of candidate-accessed memory, the register file at the first entry, and
+    the indices delimiting each invocation of the filter function.
+    """
+
+    records: list[TraceRecord] = field(default_factory=list)
+    memory_dump: dict[int, bytes] = field(default_factory=dict)
+    entry_registers: dict[str, int] = field(default_factory=dict)
+    invocation_bounds: list[tuple[int, int]] = field(default_factory=list)
+    entry_address: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def dynamic_instruction_count(self) -> int:
+        return len(self.records)
+
+    def dump_size_bytes(self) -> int:
+        return sum(len(page) for page in self.memory_dump.values())
+
+    def dump_read(self, address: int, width: int) -> int:
+        """Read an unsigned integer out of the memory dump."""
+        from ..x86.memory import PAGE_SIZE
+
+        raw = bytearray()
+        for i in range(width):
+            page_base = (address + i) & ~(PAGE_SIZE - 1)
+            page = self.memory_dump.get(page_base)
+            if page is None:
+                raise KeyError(f"address {address + i:#x} not in memory dump")
+            raw.append(page[(address + i) - page_base])
+        return int.from_bytes(bytes(raw), "little")

@@ -1,0 +1,16 @@
+"""A mini-Halide: enough of the Halide front end to host Helium's output.
+
+The real Halide is not available offline, so this package provides the pieces
+the lifted code needs — ``Var``, ``Func``, ``ImageParam``, ``RDom``, ``cast``
+and ``select`` — together with a NumPy *realizer* that evaluates a function
+over its output domain, a small scheduling model (tiling / vectorize-by-numpy)
+and a random-search autotuner standing in for OpenTuner.
+"""
+
+from .func import Func, ImageParam, RDom, Schedule, Var
+from .realize import realize
+from .autotune import autotune
+from .pipeline import FusedPipeline
+
+__all__ = ["Func", "ImageParam", "RDom", "Schedule", "Var", "realize",
+           "autotune", "FusedPipeline"]

@@ -1,0 +1,65 @@
+"""A small random-search autotuner standing in for OpenTuner (paper 6.2).
+
+The search space is the schedule of the lifted function: tile sizes, whether
+producers are fused, vectorization.  Each candidate schedule is timed on the
+supplied workload and the best is kept.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from .func import Func, Schedule
+from .realize import realize
+
+_TILE_CHOICES = (0, 8, 16, 32, 64, 128)
+
+
+@dataclass
+class TuneResult:
+    """Outcome of an autotuning session."""
+
+    best_schedule: Schedule
+    best_time: float
+    evaluations: int
+    history: list[tuple[Schedule, float]]
+
+
+def _time_schedule(func: Func, shape, buffers, params, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        realize(func, shape, buffers, params)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def autotune(func: Func, shape, buffers, params=None, iterations: int = 10,
+             seed: int = 0) -> TuneResult:
+    """Search schedules for ``func`` on the given workload."""
+    rng = random.Random(seed)
+    params = params or {}
+    history: list[tuple[Schedule, float]] = []
+    best_schedule = Schedule()
+    func.schedule = best_schedule
+    best_time = _time_schedule(func, shape, buffers, params)
+    history.append((best_schedule, best_time))
+    for _ in range(iterations):
+        candidate = Schedule(
+            tile_x=rng.choice(_TILE_CHOICES),
+            tile_y=rng.choice(_TILE_CHOICES),
+            vectorize=True,
+            parallel=rng.random() < 0.5,
+            fuse_producers=rng.random() < 0.8,
+        )
+        func.schedule = candidate
+        elapsed = _time_schedule(func, shape, buffers, params)
+        history.append((candidate, elapsed))
+        if elapsed < best_time:
+            best_time = elapsed
+            best_schedule = candidate
+    func.schedule = best_schedule
+    return TuneResult(best_schedule=best_schedule, best_time=best_time,
+                      evaluations=len(history), history=history)

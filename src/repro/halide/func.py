@@ -1,0 +1,112 @@
+"""Mini-Halide front-end objects.
+
+Expressions reuse :mod:`repro.ir`; a :class:`Func` maps pure variables to one
+expression (possibly wrapped in selects for predicated kernels) and may carry
+a reduction update (histogram-style kernels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..ir import DType, Expr, UINT8, Var as IRVar
+
+
+class Var(IRVar):
+    """A pure loop variable (alias of the IR variable node)."""
+
+
+@dataclass
+class ImageParam:
+    """An input buffer of the lifted kernel."""
+
+    name: str
+    dimensions: int
+    dtype: DType = UINT8
+
+    def __str__(self) -> str:
+        return f"ImageParam({self.name}, {self.dtype.halide_name()}, {self.dimensions})"
+
+
+@dataclass
+class RDom:
+    """A reduction domain over another buffer's extents."""
+
+    name: str
+    source: str                      # buffer whose bounds define the domain
+    dimensions: int
+
+    def vars(self) -> list[IRVar]:
+        return [IRVar(f"r_{d}") for d in range(self.dimensions)]
+
+
+@dataclass
+class Schedule:
+    """A (simulated) Halide schedule.
+
+    The NumPy realizer always vectorizes; tiling controls the block size used
+    when evaluating large outputs (affecting locality), and ``fuse_producers``
+    controls whether producer functions are inlined or materialized.
+    """
+
+    tile_x: int = 0
+    tile_y: int = 0
+    vectorize: bool = True
+    parallel: bool = False
+    fuse_producers: bool = True
+
+    def describe(self) -> str:
+        parts = []
+        if self.tile_x and self.tile_y:
+            parts.append(f"tile({self.tile_x},{self.tile_y})")
+        if self.vectorize:
+            parts.append("vectorize")
+        if self.parallel:
+            parts.append("parallel")
+        if self.fuse_producers:
+            parts.append("compute_inline")
+        return ".".join(parts) if parts else "root"
+
+
+@dataclass
+class Func:
+    """A lifted Halide function."""
+
+    name: str
+    variables: list[IRVar]
+    value: Optional[Expr] = None
+    dtype: DType = UINT8
+    #: Reduction update: (rdom, index_expr_per_dim, update_expr).
+    reduction: Optional[tuple[RDom, list[Expr], Expr]] = None
+    inputs: list[ImageParam] = field(default_factory=list)
+    schedule: Schedule = field(default_factory=Schedule)
+
+    @property
+    def dimensions(self) -> int:
+        return len(self.variables)
+
+    def define(self, value: Expr) -> "Func":
+        self.value = value
+        return self
+
+    def update(self, rdom: RDom, index_exprs: Sequence[Expr], expr: Expr) -> "Func":
+        self.reduction = (rdom, list(index_exprs), expr)
+        return self
+
+    def tile(self, tile_x: int, tile_y: int) -> "Func":
+        self.schedule.tile_x = tile_x
+        self.schedule.tile_y = tile_y
+        return self
+
+    def vectorize(self, enabled: bool = True) -> "Func":
+        self.schedule.vectorize = enabled
+        return self
+
+    def parallel(self, enabled: bool = True) -> "Func":
+        self.schedule.parallel = enabled
+        return self
+
+    def __str__(self) -> str:
+        vars_text = ", ".join(v.name for v in self.variables)
+        return f"{self.name}({vars_text}) = {self.value}"

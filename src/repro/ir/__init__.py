@@ -1,0 +1,48 @@
+"""Shared typed expression IR used by the Helium analyses and mini-Halide."""
+
+from .expr import (
+    BinOp,
+    BufferAccess,
+    Call,
+    Cast,
+    Const,
+    Expr,
+    MemLoad,
+    Op,
+    Param,
+    Select,
+    UnOp,
+    Var,
+    collect,
+    const,
+    iter_buffer_accesses,
+    structural_signature,
+    substitute,
+)
+from .simplify import canonicalize, evaluate, simplify
+from .types import (
+    DType,
+    FLOAT32,
+    FLOAT64,
+    INT8,
+    INT16,
+    INT32,
+    INT64,
+    TypeKind,
+    UINT8,
+    UINT16,
+    UINT32,
+    UINT64,
+    dtype_from_name,
+    signed_of_width,
+    unsigned_of_width,
+)
+
+__all__ = [
+    "BinOp", "BufferAccess", "Call", "Cast", "Const", "Expr", "MemLoad", "Op",
+    "Param", "Select", "UnOp", "Var", "collect", "const", "iter_buffer_accesses",
+    "structural_signature", "substitute", "canonicalize", "evaluate", "simplify",
+    "DType", "TypeKind", "dtype_from_name", "signed_of_width", "unsigned_of_width",
+    "UINT8", "UINT16", "UINT32", "UINT64", "INT8", "INT16", "INT32", "INT64",
+    "FLOAT32", "FLOAT64",
+]

@@ -1,0 +1,35 @@
+"""Legacy kernel compiler: emits "bit-rotted" optimized x86 assembly.
+
+Each emitter takes a small kernel specification and produces the kind of
+hand-optimized assembly found in the binaries the paper analyzes: unrolled
+loops with fix-up tails, register reuse, stack-spilled counters, data
+-dependent branches, sliding windows, lookup tables, x87 stacks and scalar
+SSE.  The simulated applications in :mod:`repro.apps` are built from these.
+"""
+
+from .boxblur import BoxBlurSpec, emit_boxblur, reference_boxblur
+from .common import AsmBuilder, apply_weight, arg_offset
+from .floatstencil import FloatConvSpec, emit_float_conv, reference_float_conv
+from .pointwise import PointwiseSpec, emit_pointwise, reference_pointwise
+from .stencil2d import Conv2DSpec, emit_conv2d, reference_conv2d
+from .stencil3d import Smooth3DSpec, emit_smooth3d, reference_smooth3d
+from .tables import (
+    HistogramSpec,
+    ThresholdSpec,
+    build_brightness_lut,
+    emit_histogram,
+    emit_threshold,
+    reference_histogram,
+    reference_threshold,
+)
+
+__all__ = [
+    "AsmBuilder", "apply_weight", "arg_offset",
+    "BoxBlurSpec", "emit_boxblur", "reference_boxblur",
+    "FloatConvSpec", "emit_float_conv", "reference_float_conv",
+    "PointwiseSpec", "emit_pointwise", "reference_pointwise",
+    "Conv2DSpec", "emit_conv2d", "reference_conv2d",
+    "Smooth3DSpec", "emit_smooth3d", "reference_smooth3d",
+    "HistogramSpec", "ThresholdSpec", "build_brightness_lut",
+    "emit_histogram", "emit_threshold", "reference_histogram", "reference_threshold",
+]

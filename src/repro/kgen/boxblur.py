@@ -1,0 +1,120 @@
+"""Legacy code generator for the sliding-window box blur.
+
+Photoshop implements box blur by keeping a running window sum per row: each
+step adds the column entering the window and subtracts the column leaving it,
+then normalizes with a fixed-point reciprocal multiply.  Helium's tree
+canonicalization cancels the add/subtract chains and recovers the plain
+9-point stencil (paper sections 4.7 and 6.3) — which is also why the lifted
+version is *slower* than the original (Figure 7's 0.80x row).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .common import AsmBuilder, arg_offset, emit_epilogue, emit_prologue
+
+#: Fixed-point reciprocal of 9 in 16.16: (x * 7282) >> 16 == x // 9 (approx).
+RECIPROCAL_9 = 0x1C72
+
+
+@dataclass
+class BoxBlurSpec:
+    """Specification of the radius-1 sliding-window box blur."""
+
+    name: str
+    reciprocal: int = RECIPROCAL_9
+
+
+def emit_boxblur(spec: BoxBlurSpec) -> str:
+    """Box blur kernel.
+
+    Signature (cdecl)::
+
+        boxblur(src, dst, width, height, src_stride, dst_stride, param)
+
+    ``src``/``dst`` point at the first interior pixel of padded planes.
+    ``width`` must be at least 2.
+    """
+    asm = AsmBuilder(spec.name)
+    emit_prologue(asm)
+    a = [arg_offset(i) for i in range(7)]
+    asm.emit(f"mov eax, dword ptr [ebp+{a[0]:#x}]")
+    asm.emit(f"mov ebx, dword ptr [ebp+{a[1]:#x}]")
+    asm.emit(f"mov ecx, dword ptr [ebp+{a[4]:#x}]")
+    asm.emit("mov esi, eax")
+    asm.emit("sub esi, ecx")
+    asm.emit("lea edi, [eax+ecx]")
+    asm.emit(f"mov edx, dword ptr [ebp+{a[3]:#x}]")
+    asm.emit("mov dword ptr [ebp-0x8], edx")          # rows remaining
+
+    row_loop = asm.label("row_loop")
+    col_loop = asm.label("col_loop")
+
+    asm.place(row_loop)
+    # Initial window: the nine pixels around column 0.
+    asm.emit("mov ecx, 0")
+    for dx in (-1, 0, 1):
+        for reg in ("esi", "eax", "edi"):
+            disp = f"+{dx:#x}" if dx > 0 else (f"-{abs(dx):#x}" if dx < 0 else "")
+            asm.emit(f"movzx edx, byte ptr [{reg}{disp}]")
+            asm.emit("add ecx, edx")
+    asm.emit("mov edx, ecx")
+    asm.emit(f"imul edx, edx, {spec.reciprocal:#x}")
+    asm.emit("shr edx, 16")
+    asm.emit("mov byte ptr [ebx], dl")
+    asm.emit(f"mov edx, dword ptr [ebp+{a[2]:#x}]")
+    asm.emit("dec edx")
+    asm.emit("mov dword ptr [ebp-0xc], edx")          # columns remaining
+
+    asm.place(col_loop)
+    asm.emit("add eax, 1")
+    asm.emit("add esi, 1")
+    asm.emit("add edi, 1")
+    asm.emit("add ebx, 1")
+    # Slide the window: add the entering column (x+1), drop the leaving
+    # column (x-2).
+    for reg in ("esi", "eax", "edi"):
+        asm.emit(f"movzx edx, byte ptr [{reg}+0x1]")
+        asm.emit("add ecx, edx")
+    for reg in ("esi", "eax", "edi"):
+        asm.emit(f"movzx edx, byte ptr [{reg}-0x2]")
+        asm.emit("sub ecx, edx")
+    asm.emit("mov edx, ecx")
+    asm.emit(f"imul edx, edx, {spec.reciprocal:#x}")
+    asm.emit("shr edx, 16")
+    asm.emit("mov byte ptr [ebx], dl")
+    asm.emit("dec dword ptr [ebp-0xc]")
+    asm.emit(f"jnz {col_loop}")
+
+    # Advance to the next row: the pointers currently sit on column width-1.
+    asm.emit(f"mov ecx, dword ptr [ebp+{a[4]:#x}]")
+    asm.emit(f"sub ecx, dword ptr [ebp+{a[2]:#x}]")
+    asm.emit("add ecx, 1")
+    asm.emit("add eax, ecx")
+    asm.emit("add esi, ecx")
+    asm.emit("add edi, ecx")
+    asm.emit(f"mov ecx, dword ptr [ebp+{a[5]:#x}]")
+    asm.emit(f"sub ecx, dword ptr [ebp+{a[2]:#x}]")
+    asm.emit("add ecx, 1")
+    asm.emit("add ebx, ecx")
+    asm.emit("dec dword ptr [ebp-0x8]")
+    asm.emit(f"jnz {row_loop}")
+    emit_epilogue(asm)
+    return asm.text()
+
+
+def reference_boxblur(spec: BoxBlurSpec, padded_plane: np.ndarray,
+                      pad: int = 1) -> np.ndarray:
+    """NumPy reference: direct 9-point sum with the same fixed-point divide."""
+    plane = np.asarray(padded_plane, dtype=np.int64)
+    height = plane.shape[0] - 2 * pad
+    width = plane.shape[1] - 2 * pad
+    acc = np.zeros((height, width), dtype=np.int64)
+    for dy in (-1, 0, 1):
+        for dx in (-1, 0, 1):
+            acc += plane[pad + dy: pad + dy + height, pad + dx: pad + dx + width]
+    out = (acc * spec.reciprocal) >> 16
+    return (out & 0xFF).astype(np.uint8)

@@ -1,0 +1,87 @@
+"""Shared helpers for the legacy kernel code generators.
+
+``repro.kgen`` plays the role of the original vendor's optimizing compiler:
+it turns simple kernel specifications into the kind of "bit-rotted" assembly
+Helium has to cope with — unrolled inner loops with scalar fix-up loops,
+register reuse, temporaries spilled to the stack, sliding-window rewrites and
+lookup tables.  Every emitter produces Intel-syntax text for
+:mod:`repro.x86.assembler`.
+"""
+
+from __future__ import annotations
+
+
+class AsmBuilder:
+    """Accumulates assembly text with unique, kernel-prefixed labels."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.lines: list[str] = []
+        self._label_counter = 0
+
+    def raw(self, line: str) -> None:
+        self.lines.append(line)
+
+    def emit(self, line: str) -> None:
+        self.lines.append(f"  {line}")
+
+    def label(self, suffix: str) -> str:
+        return f"{self.name}__{suffix}"
+
+    def fresh_label(self, stem: str) -> str:
+        self._label_counter += 1
+        return f"{self.name}__{stem}_{self._label_counter}"
+
+    def place(self, label: str) -> None:
+        self.lines.append(f"{label}:")
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def emit_prologue(asm: AsmBuilder, frame_bytes: int = 0x40) -> None:
+    """Standard cdecl prologue: frame pointer, locals, callee-saved registers."""
+    asm.place(asm.name)
+    asm.emit("push ebp")
+    asm.emit("mov ebp, esp")
+    asm.emit(f"sub esp, {frame_bytes:#x}")
+    asm.emit("push ebx")
+    asm.emit("push esi")
+    asm.emit("push edi")
+
+
+def emit_epilogue(asm: AsmBuilder) -> None:
+    asm.emit("pop edi")
+    asm.emit("pop esi")
+    asm.emit("pop ebx")
+    asm.emit("mov esp, ebp")
+    asm.emit("pop ebp")
+    asm.emit("ret")
+
+
+def arg_offset(index: int) -> int:
+    """Stack offset of the index-th cdecl argument relative to ebp."""
+    return 0x8 + 4 * index
+
+
+def apply_weight(asm: AsmBuilder, reg: str, acc: str, weight: int) -> None:
+    """Accumulate ``acc += weight * reg`` using the cheapest instruction mix.
+
+    This mirrors what legacy compilers emit: strength-reduced shifts for
+    power-of-two weights, ``lea`` tricks for small multiples, ``imul`` only
+    when nothing cheaper exists, and subtraction for negative weights.
+    """
+    magnitude = abs(weight)
+    if magnitude == 0:
+        return
+    if magnitude != 1:
+        if magnitude & (magnitude - 1) == 0:
+            asm.emit(f"shl {reg}, {magnitude.bit_length() - 1}")
+        elif magnitude in (3, 5, 9):
+            asm.emit(f"lea {reg}, [{reg}+{reg}*{magnitude - 1}]")
+        else:
+            asm.emit(f"imul {reg}, {reg}, {magnitude}")
+    if weight > 0:
+        asm.emit(f"add {acc}, {reg}")
+    else:
+        asm.emit(f"sub {acc}, {reg}")

@@ -1,0 +1,124 @@
+"""Legacy code generator for x87 floating-point stencils (IrfanView style).
+
+IrfanView loads image bytes into the x87 stack, computes the stencil in
+floating point with per-tap weights read from a constants table, and rounds
+the result back to an integer with ``fistp`` (paper section 6.1).  The
+generated code deliberately uses the x87 register stack so that Helium's
+instruction-trace preprocessing (section 4.5: x87 stack renaming) is
+exercised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .common import AsmBuilder, arg_offset, emit_epilogue, emit_prologue
+
+#: Default 3x3 taps in row-major (dy, dx) order.
+DEFAULT_TAP_ORDER = tuple((dy, dx) for dy in (-1, 0, 1) for dx in (-1, 0, 1))
+
+
+@dataclass
+class FloatConvSpec:
+    """Specification of a floating-point 3x3 stencil on interleaved bytes."""
+
+    name: str
+    #: (dy, dx) -> weight.  Offsets are in *pixels*; the generated code
+    #: multiplies dx by the 3-byte interleaved pixel stride.
+    weights: dict[tuple[int, int], float] = field(default_factory=dict)
+    channels: int = 3
+
+    def tap_order(self) -> list[tuple[int, int]]:
+        return [tap for tap in DEFAULT_TAP_ORDER if tap in self.weights]
+
+    def weight_table(self) -> np.ndarray:
+        """The float64 constants table the kernel reads its weights from."""
+        return np.array([self.weights[tap] for tap in self.tap_order()], dtype=np.float64)
+
+
+def emit_float_conv(spec: FloatConvSpec) -> str:
+    """Floating-point stencil kernel.
+
+    Signature (cdecl)::
+
+        filter(src, dst, width_bytes, height, src_stride, dst_stride, weights)
+
+    ``src``/``dst`` point at the first interior sample (channel 0 of interior
+    pixel (0, 0)); ``width_bytes`` is interior width times the channel count;
+    ``weights`` points to a table of float64 tap weights.
+    """
+    asm = AsmBuilder(spec.name)
+    emit_prologue(asm)
+    a = [arg_offset(i) for i in range(7)]
+    asm.emit(f"mov eax, dword ptr [ebp+{a[0]:#x}]")
+    asm.emit(f"mov ebx, dword ptr [ebp+{a[1]:#x}]")
+    asm.emit(f"mov ecx, dword ptr [ebp+{a[4]:#x}]")
+    asm.emit("mov esi, eax")
+    asm.emit("sub esi, ecx")
+    asm.emit("lea edi, [eax+ecx]")
+    asm.emit(f"mov edx, dword ptr [ebp+{a[3]:#x}]")
+    asm.emit("mov dword ptr [ebp-0x8], edx")          # rows remaining
+
+    row_loop = asm.label("row_loop")
+    sample_loop = asm.label("sample_loop")
+
+    asm.place(row_loop)
+    asm.emit(f"mov edx, dword ptr [ebp+{a[2]:#x}]")
+    asm.emit("mov dword ptr [ebp-0xc], edx")          # samples remaining
+
+    asm.place(sample_loop)
+    asm.emit(f"mov ecx, dword ptr [ebp+{a[6]:#x}]")   # weights table pointer
+    row_regs = {-1: "esi", 0: "eax", 1: "edi"}
+    asm.emit("fldz")
+    for index, (dy, dx) in enumerate(spec.tap_order()):
+        reg = row_regs[dy]
+        disp = dx * spec.channels
+        disp_text = f"+{disp:#x}" if disp > 0 else (f"-{abs(disp):#x}" if disp < 0 else "")
+        asm.emit(f"movzx edx, byte ptr [{reg}{disp_text}]")
+        asm.emit("mov dword ptr [ebp-0x20], edx")
+        asm.emit("fild dword ptr [ebp-0x20]")
+        weight_disp = f"+{index * 8:#x}" if index else ""
+        asm.emit(f"fmul qword ptr [ecx{weight_disp}]")
+        asm.emit("faddp st1, st")
+    asm.emit("fistp dword ptr [ebp-0x20]")
+    asm.emit("mov edx, dword ptr [ebp-0x20]")
+    asm.emit("mov byte ptr [ebx], dl")
+    asm.emit("inc eax")
+    asm.emit("inc esi")
+    asm.emit("inc edi")
+    asm.emit("inc ebx")
+    asm.emit("dec dword ptr [ebp-0xc]")
+    asm.emit(f"jnz {sample_loop}")
+
+    asm.emit(f"mov ecx, dword ptr [ebp+{a[4]:#x}]")
+    asm.emit(f"sub ecx, dword ptr [ebp+{a[2]:#x}]")
+    asm.emit("add eax, ecx")
+    asm.emit("add esi, ecx")
+    asm.emit("add edi, ecx")
+    asm.emit(f"mov ecx, dword ptr [ebp+{a[5]:#x}]")
+    asm.emit(f"sub ecx, dword ptr [ebp+{a[2]:#x}]")
+    asm.emit("add ebx, ecx")
+    asm.emit("dec dword ptr [ebp-0x8]")
+    asm.emit(f"jnz {row_loop}")
+    emit_epilogue(asm)
+    return asm.text()
+
+
+def reference_float_conv(spec: FloatConvSpec, padded: np.ndarray,
+                         pad_pixels: int = 1) -> np.ndarray:
+    """NumPy reference over an interleaved padded array of shape (H+2p, (W+2p)*C)."""
+    data = np.asarray(padded, dtype=np.float64)
+    channels = spec.channels
+    height = data.shape[0] - 2 * pad_pixels
+    width_bytes = data.shape[1] - 2 * pad_pixels * channels
+    acc = np.zeros((height, width_bytes), dtype=np.float64)
+    origin_y, origin_x = pad_pixels, pad_pixels * channels
+    for (dy, dx) in spec.tap_order():
+        weight = spec.weights[(dy, dx)]
+        window = data[origin_y + dy: origin_y + dy + height,
+                      origin_x + dx * channels: origin_x + dx * channels + width_bytes]
+        acc += weight * window
+    rounded = np.rint(acc).astype(np.int64)
+    return (rounded & 0xFF).astype(np.uint8)

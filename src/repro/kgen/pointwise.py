@@ -1,0 +1,139 @@
+"""Legacy code generator for pointwise (per-byte) image kernels.
+
+Covers the invert and solarize filters and the lookup-table application stage
+of the brightness filter.  The generated code walks every byte of every
+scanline (so it works identically on planar and interleaved layouts), with the
+inner loop unrolled and a fix-up loop for the remainder.
+
+Kernel signature (cdecl)::
+
+    filter(src, dst, width_bytes, height, src_stride, dst_stride, param)
+
+``param`` is the lookup-table pointer for ``lut`` kernels and is unused
+otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .common import AsmBuilder, arg_offset, emit_epilogue, emit_prologue
+
+ARG_SRC, ARG_DST, ARG_WIDTH, ARG_HEIGHT = (arg_offset(i) for i in range(4))
+ARG_SSTRIDE, ARG_DSTRIDE, ARG_PARAM = (arg_offset(i) for i in range(4, 7))
+
+LOC_WIDTH = "-0x4"
+LOC_ROWS = "-0x8"
+LOC_X = "-0xc"
+
+VALID_OPERATIONS = ("invert", "solarize", "lut")
+
+
+@dataclass
+class PointwiseSpec:
+    """Specification of a pointwise kernel."""
+
+    name: str
+    operation: str
+    unroll: int = 4
+    solarize_threshold: int = 128
+
+    def __post_init__(self) -> None:
+        if self.operation not in VALID_OPERATIONS:
+            raise ValueError(f"unknown pointwise operation {self.operation!r}")
+
+
+def _emit_byte(asm: AsmBuilder, spec: PointwiseSpec, offset: int) -> None:
+    disp = f"+{offset:#x}" if offset else ""
+    if spec.operation == "invert":
+        asm.emit(f"movzx edx, byte ptr [eax{disp}]")
+        asm.emit("xor edx, 0xff")
+        asm.emit(f"mov byte ptr [ebx{disp}], dl")
+    elif spec.operation == "solarize":
+        keep = asm.fresh_label("keep")
+        done = asm.fresh_label("done")
+        asm.emit(f"movzx edx, byte ptr [eax{disp}]")
+        asm.emit(f"cmp edx, {spec.solarize_threshold:#x}")
+        asm.emit(f"jb {keep}")
+        asm.emit("mov ecx, 0xff")
+        asm.emit("sub ecx, edx")
+        asm.emit(f"mov byte ptr [ebx{disp}], cl")
+        asm.emit(f"jmp {done}")
+        asm.place(keep)
+        asm.emit(f"mov byte ptr [ebx{disp}], dl")
+        asm.place(done)
+    elif spec.operation == "lut":
+        asm.emit(f"movzx edx, byte ptr [eax{disp}]")
+        asm.emit(f"mov ecx, dword ptr [ebp+{ARG_PARAM:#x}]")
+        asm.emit("movzx edx, byte ptr [ecx+edx]")
+        asm.emit(f"mov byte ptr [ebx{disp}], dl")
+
+
+def emit_pointwise(spec: PointwiseSpec) -> str:
+    """Generate the assembly for a :class:`PointwiseSpec`."""
+    asm = AsmBuilder(spec.name)
+    emit_prologue(asm)
+    asm.emit(f"mov eax, dword ptr [ebp+{ARG_SRC:#x}]")
+    asm.emit(f"mov ebx, dword ptr [ebp+{ARG_DST:#x}]")
+    asm.emit(f"mov edx, dword ptr [ebp+{ARG_WIDTH:#x}]")
+    asm.emit(f"mov dword ptr [ebp{LOC_WIDTH}], edx")
+    asm.emit(f"mov edx, dword ptr [ebp+{ARG_HEIGHT:#x}]")
+    asm.emit(f"mov dword ptr [ebp{LOC_ROWS}], edx")
+
+    row_loop = asm.label("row_loop")
+    unroll_loop = asm.label("unroll_loop")
+    fixup_loop = asm.label("fixup_loop")
+    row_done = asm.label("row_done")
+
+    asm.place(row_loop)
+    asm.emit(f"mov edx, dword ptr [ebp{LOC_WIDTH}]")
+    asm.emit(f"mov dword ptr [ebp{LOC_X}], edx")
+
+    asm.place(unroll_loop)
+    asm.emit(f"cmp dword ptr [ebp{LOC_X}], {spec.unroll}")
+    asm.emit(f"jl {fixup_loop}")
+    for offset in range(spec.unroll):
+        _emit_byte(asm, spec, offset)
+    asm.emit(f"add eax, {spec.unroll}")
+    asm.emit(f"add ebx, {spec.unroll}")
+    asm.emit(f"sub dword ptr [ebp{LOC_X}], {spec.unroll}")
+    asm.emit(f"jmp {unroll_loop}")
+
+    asm.place(fixup_loop)
+    asm.emit(f"cmp dword ptr [ebp{LOC_X}], 0")
+    asm.emit(f"jz {row_done}")
+    _emit_byte(asm, spec, 0)
+    asm.emit("inc eax")
+    asm.emit("inc ebx")
+    asm.emit(f"dec dword ptr [ebp{LOC_X}]")
+    asm.emit(f"jmp {fixup_loop}")
+
+    asm.place(row_done)
+    asm.emit(f"mov ecx, dword ptr [ebp+{ARG_SSTRIDE:#x}]")
+    asm.emit(f"sub ecx, dword ptr [ebp{LOC_WIDTH}]")
+    asm.emit("add eax, ecx")
+    asm.emit(f"mov ecx, dword ptr [ebp+{ARG_DSTRIDE:#x}]")
+    asm.emit(f"sub ecx, dword ptr [ebp{LOC_WIDTH}]")
+    asm.emit("add ebx, ecx")
+    asm.emit(f"dec dword ptr [ebp{LOC_ROWS}]")
+    asm.emit(f"jnz {row_loop}")
+    emit_epilogue(asm)
+    return asm.text()
+
+
+def reference_pointwise(spec: PointwiseSpec, plane: np.ndarray,
+                        lut: np.ndarray | None = None) -> np.ndarray:
+    """NumPy reference of a pointwise kernel over a 2-D byte array."""
+    data = np.asarray(plane, dtype=np.uint8)
+    if spec.operation == "invert":
+        return (0xFF ^ data).astype(np.uint8)
+    if spec.operation == "solarize":
+        inverted = (255 - data.astype(np.int32)).astype(np.uint8)
+        return np.where(data >= spec.solarize_threshold, inverted, data)
+    if spec.operation == "lut":
+        if lut is None:
+            raise ValueError("lut kernels need a lookup table")
+        return np.asarray(lut, dtype=np.uint8)[data]
+    raise ValueError(spec.operation)

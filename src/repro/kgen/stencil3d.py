@@ -1,0 +1,164 @@
+"""Legacy code generator for the 3-D Jacobi smooth stencil (miniGMG style).
+
+The kernel operates on a double-precision grid with one ghost cell on every
+face, uses scalar SSE2 arithmetic, and reads its two coefficients from a small
+parameter block — so Helium must use *generic* dimensionality inference (no
+known input/output data, paper section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .common import AsmBuilder, arg_offset, emit_epilogue, emit_prologue
+
+
+@dataclass
+class Smooth3DSpec:
+    """Specification of the 7-point weighted Jacobi smooth."""
+
+    name: str
+    center_weight: float = 1.0 / 3.0
+    neighbor_weight: float = 1.0 / 9.0
+
+    def coefficient_block(self) -> np.ndarray:
+        return np.array([self.center_weight, self.neighbor_weight], dtype=np.float64)
+
+
+def emit_smooth3d(spec: Smooth3DSpec) -> str:
+    """3-D smooth kernel.
+
+    Signature (cdecl)::
+
+        smooth(in, out, nx, ny, nz, jstride_bytes, kstride_bytes, coeffs)
+
+    ``in``/``out`` point at the first interior cell; ``coeffs`` points to two
+    float64 values (center weight, neighbour weight).
+    """
+    asm = AsmBuilder(spec.name)
+    emit_prologue(asm)
+    a = [arg_offset(i) for i in range(8)]
+
+    # Residual-norm style sweep over the whole ghosted input grid (miniGMG
+    # computes grid norms/dot products as part of each smooth/residual step).
+    # The sweep also means every ghost cell is touched, so the accessed input
+    # region is the full rectangular grid and generic dimensionality inference
+    # sees clean strides.
+    sweep_k = asm.label("sweep_k")
+    sweep_j = asm.label("sweep_j")
+    sweep_i = asm.label("sweep_i")
+    asm.emit(f"mov eax, dword ptr [ebp+{a[0]:#x}]")
+    asm.emit(f"sub eax, dword ptr [ebp+{a[6]:#x}]")
+    asm.emit(f"sub eax, dword ptr [ebp+{a[5]:#x}]")
+    asm.emit("sub eax, 8")                             # ghosted grid origin
+    asm.emit("pxor xmm2, xmm2")
+    asm.emit(f"mov ebx, dword ptr [ebp+{a[4]:#x}]")
+    asm.emit("add ebx, 2")
+    asm.emit("mov dword ptr [ebp-0x20], ebx")          # ghosted planes
+    asm.place(sweep_k)
+    asm.emit(f"mov ebx, dword ptr [ebp+{a[3]:#x}]")
+    asm.emit("add ebx, 2")
+    asm.emit("mov dword ptr [ebp-0x24], ebx")          # ghosted rows
+    asm.place(sweep_j)
+    asm.emit(f"mov ebx, dword ptr [ebp+{a[2]:#x}]")
+    asm.emit("add ebx, 2")
+    asm.emit("mov dword ptr [ebp-0x28], ebx")          # ghosted cells
+    asm.emit("mov ecx, eax")
+    asm.place(sweep_i)
+    asm.emit("addsd xmm2, qword ptr [ecx]")
+    asm.emit("add ecx, 8")
+    asm.emit("dec dword ptr [ebp-0x28]")
+    asm.emit(f"jnz {sweep_i}")
+    asm.emit(f"add eax, dword ptr [ebp+{a[5]:#x}]")
+    asm.emit("dec dword ptr [ebp-0x24]")
+    asm.emit(f"jnz {sweep_j}")
+    asm.emit(f"mov ebx, dword ptr [ebp+{a[3]:#x}]")
+    asm.emit("add ebx, 2")
+    asm.emit(f"imul ebx, dword ptr [ebp+{a[5]:#x}]")
+    asm.emit(f"mov ecx, dword ptr [ebp+{a[6]:#x}]")
+    asm.emit("sub ecx, ebx")
+    asm.emit("add eax, ecx")
+    asm.emit("dec dword ptr [ebp-0x20]")
+    asm.emit(f"jnz {sweep_k}")
+    asm.emit("movsd qword ptr [ebp-0x30], xmm2")       # grid norm (local)
+
+    asm.emit(f"mov eax, dword ptr [ebp+{a[0]:#x}]")   # in (center)
+    asm.emit(f"mov edx, dword ptr [ebp+{a[1]:#x}]")   # out
+    asm.emit(f"mov esi, dword ptr [ebp+{a[5]:#x}]")   # jstride (bytes)
+    asm.emit(f"mov edi, dword ptr [ebp+{a[6]:#x}]")   # kstride (bytes)
+    asm.emit(f"mov ecx, dword ptr [ebp+{a[7]:#x}]")   # coefficients
+
+    k_loop = asm.label("k_loop")
+    j_loop = asm.label("j_loop")
+    i_loop = asm.label("i_loop")
+
+    asm.emit(f"mov ebx, dword ptr [ebp+{a[4]:#x}]")
+    asm.emit("mov dword ptr [ebp-0x8], ebx")          # planes remaining (nz)
+    asm.place(k_loop)
+    asm.emit(f"mov ebx, dword ptr [ebp+{a[3]:#x}]")
+    asm.emit("mov dword ptr [ebp-0xc], ebx")          # rows remaining (ny)
+    asm.place(j_loop)
+    asm.emit(f"mov ebx, dword ptr [ebp+{a[2]:#x}]")
+    asm.emit("mov dword ptr [ebp-0x10], ebx")         # cells remaining (nx)
+    asm.place(i_loop)
+    asm.emit("movsd xmm0, qword ptr [eax]")
+    asm.emit("mulsd xmm0, qword ptr [ecx]")           # center * a
+    asm.emit("pxor xmm1, xmm1")
+    asm.emit("addsd xmm1, qword ptr [eax+0x8]")
+    asm.emit("addsd xmm1, qword ptr [eax-0x8]")
+    asm.emit("lea ebx, [eax+esi]")
+    asm.emit("addsd xmm1, qword ptr [ebx]")
+    asm.emit("mov ebx, eax")
+    asm.emit("sub ebx, esi")
+    asm.emit("addsd xmm1, qword ptr [ebx]")
+    asm.emit("lea ebx, [eax+edi]")
+    asm.emit("addsd xmm1, qword ptr [ebx]")
+    asm.emit("mov ebx, eax")
+    asm.emit("sub ebx, edi")
+    asm.emit("addsd xmm1, qword ptr [ebx]")
+    asm.emit("mulsd xmm1, qword ptr [ecx+0x8]")       # neighbours * b
+    asm.emit("addsd xmm0, xmm1")
+    asm.emit("movsd qword ptr [edx], xmm0")
+    asm.emit("add eax, 8")
+    asm.emit("add edx, 8")
+    asm.emit("dec dword ptr [ebp-0x10]")
+    asm.emit(f"jnz {i_loop}")
+    # Advance to the next row: undo the nx*8 we walked, add one jstride.
+    asm.emit(f"mov ebx, dword ptr [ebp+{a[2]:#x}]")
+    asm.emit("shl ebx, 3")
+    asm.emit("sub eax, ebx")
+    asm.emit("sub edx, ebx")
+    asm.emit("add eax, esi")
+    asm.emit("add edx, esi")
+    asm.emit("dec dword ptr [ebp-0xc]")
+    asm.emit(f"jnz {j_loop}")
+    # Advance to the next plane: undo ny*jstride, add one kstride.
+    asm.emit(f"mov ebx, dword ptr [ebp+{a[3]:#x}]")
+    asm.emit("imul ebx, esi")
+    asm.emit("sub eax, ebx")
+    asm.emit("sub edx, ebx")
+    asm.emit("add eax, edi")
+    asm.emit("add edx, edi")
+    asm.emit("dec dword ptr [ebp-0x8]")
+    asm.emit(f"jnz {k_loop}")
+    emit_epilogue(asm)
+    return asm.text()
+
+
+def reference_smooth3d(spec: Smooth3DSpec, grid: np.ndarray, ghost: int = 1) -> np.ndarray:
+    """NumPy reference over a ghosted (nz+2, ny+2, nx+2) float64 grid."""
+    data = np.asarray(grid, dtype=np.float64)
+    nz = data.shape[0] - 2 * ghost
+    ny = data.shape[1] - 2 * ghost
+    nx = data.shape[2] - 2 * ghost
+    center = data[ghost:ghost + nz, ghost:ghost + ny, ghost:ghost + nx]
+    neighbours = np.zeros_like(center)
+    for axis, delta in ((0, 1), (0, -1), (1, 1), (1, -1), (2, 1), (2, -1)):
+        offset = [ghost] * 3
+        offset[axis] += delta
+        neighbours = neighbours + data[offset[0]:offset[0] + nz,
+                                       offset[1]:offset[1] + ny,
+                                       offset[2]:offset[2] + nx]
+    return spec.center_weight * center + spec.neighbor_weight * neighbours

@@ -1,0 +1,180 @@
+"""Legacy code generators for table-driven kernels: threshold and histogram.
+
+* ``threshold`` reads the three colour planes, computes a weighted luminance,
+  and writes pure black or white depending on an input-dependent comparison
+  against the threshold parameter — the canonical predicated kernel of the
+  paper (section 4.6).
+* ``histogram`` zeroes a 256-entry table and then increments the bin selected
+  by each input byte — the canonical indirect/recursive kernel (Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .common import AsmBuilder, arg_offset, emit_epilogue, emit_prologue
+
+#: Luminance weights used by the threshold kernel ((r*77 + g*150 + b*29) >> 8).
+LUMA_WEIGHTS = (77, 150, 29)
+
+
+@dataclass
+class ThresholdSpec:
+    """Specification of the threshold kernel."""
+
+    name: str
+    weights: tuple[int, int, int] = LUMA_WEIGHTS
+
+
+def emit_threshold(spec: ThresholdSpec) -> str:
+    """Threshold kernel.
+
+    Signature (cdecl)::
+
+        threshold(src_r, src_g, src_b, dst_r, dst_g, dst_b,
+                  width, height, src_stride, dst_stride, threshold_value)
+    """
+    asm = AsmBuilder(spec.name)
+    emit_prologue(asm)
+    a = [arg_offset(i) for i in range(11)]
+    # eax/esi/edi walk the three source planes; destination pointers and loop
+    # counters are spilled to the stack.
+    asm.emit(f"mov eax, dword ptr [ebp+{a[0]:#x}]")
+    asm.emit(f"mov esi, dword ptr [ebp+{a[1]:#x}]")
+    asm.emit(f"mov edi, dword ptr [ebp+{a[2]:#x}]")
+    for index, slot in enumerate(("-0x10", "-0x14", "-0x18")):
+        asm.emit(f"mov edx, dword ptr [ebp+{a[3 + index]:#x}]")
+        asm.emit(f"mov dword ptr [ebp{slot}], edx")
+    asm.emit(f"mov edx, dword ptr [ebp+{a[7]:#x}]")
+    asm.emit("mov dword ptr [ebp-0x8], edx")          # rows remaining
+
+    row_loop = asm.label("row_loop")
+    pixel_loop = asm.label("pixel_loop")
+    white = asm.label("white")
+    store = asm.label("store")
+    row_done = asm.label("row_done")
+
+    asm.place(row_loop)
+    asm.emit(f"mov edx, dword ptr [ebp+{a[6]:#x}]")
+    asm.emit("mov dword ptr [ebp-0xc], edx")          # pixels remaining in row
+
+    asm.place(pixel_loop)
+    wr, wg, wb = spec.weights
+    asm.emit("movzx ecx, byte ptr [eax]")
+    asm.emit(f"imul ecx, ecx, {wr:#x}")
+    asm.emit("movzx edx, byte ptr [esi]")
+    asm.emit(f"imul edx, edx, {wg:#x}")
+    asm.emit("add ecx, edx")
+    asm.emit("movzx edx, byte ptr [edi]")
+    asm.emit(f"imul edx, edx, {wb:#x}")
+    asm.emit("add ecx, edx")
+    asm.emit("shr ecx, 8")
+    asm.emit(f"cmp ecx, dword ptr [ebp+{a[10]:#x}]")
+    asm.emit(f"ja {white}")
+    asm.emit("xor edx, edx")
+    asm.emit(f"jmp {store}")
+    asm.place(white)
+    asm.emit("mov edx, 0xff")
+    asm.place(store)
+    for slot in ("-0x10", "-0x14", "-0x18"):
+        asm.emit(f"mov ebx, dword ptr [ebp{slot}]")
+        asm.emit("mov byte ptr [ebx], dl")
+        asm.emit(f"inc dword ptr [ebp{slot}]")
+    asm.emit("inc eax")
+    asm.emit("inc esi")
+    asm.emit("inc edi")
+    asm.emit("dec dword ptr [ebp-0xc]")
+    asm.emit(f"jnz {pixel_loop}")
+
+    asm.place(row_done)
+    asm.emit(f"mov ecx, dword ptr [ebp+{a[8]:#x}]")
+    asm.emit(f"sub ecx, dword ptr [ebp+{a[6]:#x}]")
+    asm.emit("add eax, ecx")
+    asm.emit("add esi, ecx")
+    asm.emit("add edi, ecx")
+    asm.emit(f"mov ecx, dword ptr [ebp+{a[9]:#x}]")
+    asm.emit(f"sub ecx, dword ptr [ebp+{a[6]:#x}]")
+    for slot in ("-0x10", "-0x14", "-0x18"):
+        asm.emit(f"add dword ptr [ebp{slot}], ecx")
+    asm.emit("dec dword ptr [ebp-0x8]")
+    asm.emit(f"jnz {row_loop}")
+    emit_epilogue(asm)
+    return asm.text()
+
+
+def reference_threshold(spec: ThresholdSpec, r: np.ndarray, g: np.ndarray,
+                        b: np.ndarray, threshold: int) -> np.ndarray:
+    """NumPy reference: a single plane of 0/255 values (all outputs identical)."""
+    wr, wg, wb = spec.weights
+    luma = (r.astype(np.int64) * wr + g.astype(np.int64) * wg + b.astype(np.int64) * wb) >> 8
+    return np.where(luma > threshold, 255, 0).astype(np.uint8)
+
+
+@dataclass
+class HistogramSpec:
+    """Specification of the histogram kernel."""
+
+    name: str
+    bins: int = 256
+
+
+def emit_histogram(spec: HistogramSpec) -> str:
+    """Histogram kernel.
+
+    Signature (cdecl)::
+
+        histogram(src, hist, width, height, src_stride)
+
+    ``hist`` is a table of ``bins`` 32-bit counters.  The kernel first zeroes
+    the table, then increments the bin selected by every input byte.
+    """
+    asm = AsmBuilder(spec.name)
+    emit_prologue(asm)
+    a = [arg_offset(i) for i in range(5)]
+    asm.emit(f"mov eax, dword ptr [ebp+{a[0]:#x}]")
+    asm.emit(f"mov ebx, dword ptr [ebp+{a[1]:#x}]")
+
+    zero_loop = asm.label("zero_loop")
+    row_loop = asm.label("row_loop")
+    pixel_loop = asm.label("pixel_loop")
+
+    asm.emit(f"mov ecx, {spec.bins}")
+    asm.emit("mov edx, ebx")
+    asm.place(zero_loop)
+    asm.emit("mov dword ptr [edx], 0")
+    asm.emit("add edx, 4")
+    asm.emit("dec ecx")
+    asm.emit(f"jnz {zero_loop}")
+
+    asm.emit(f"mov edx, dword ptr [ebp+{a[3]:#x}]")
+    asm.emit("mov dword ptr [ebp-0x8], edx")          # rows remaining
+    asm.place(row_loop)
+    asm.emit(f"mov edx, dword ptr [ebp+{a[2]:#x}]")
+    asm.emit("mov dword ptr [ebp-0xc], edx")          # pixels remaining
+    asm.place(pixel_loop)
+    asm.emit("movzx edx, byte ptr [eax]")
+    asm.emit("add dword ptr [ebx+edx*4], 1")
+    asm.emit("inc eax")
+    asm.emit("dec dword ptr [ebp-0xc]")
+    asm.emit(f"jnz {pixel_loop}")
+    asm.emit(f"mov ecx, dword ptr [ebp+{a[4]:#x}]")
+    asm.emit(f"sub ecx, dword ptr [ebp+{a[2]:#x}]")
+    asm.emit("add eax, ecx")
+    asm.emit("dec dword ptr [ebp-0x8]")
+    asm.emit(f"jnz {row_loop}")
+    emit_epilogue(asm)
+    return asm.text()
+
+
+def reference_histogram(spec: HistogramSpec, plane: np.ndarray) -> np.ndarray:
+    """NumPy reference: bin counts of a byte image."""
+    return np.bincount(np.asarray(plane, dtype=np.uint8).ravel(),
+                       minlength=spec.bins).astype(np.uint32)
+
+
+def build_brightness_lut(delta: int) -> np.ndarray:
+    """The lookup table Photoshop's brightness filter builds from its parameter."""
+    values = np.arange(256, dtype=np.int32) + int(delta)
+    return np.clip(values, 0, 255).astype(np.uint8)

@@ -1,0 +1,38 @@
+"""In-situ replacement model (paper section 6.5, Figure 9).
+
+When the lifted kernels are patched back into Photoshop, they are invoked by
+Photoshop's own tile driver, so they inherit its tile granularity and lose
+control of parallelism.  This module runs the lifted kernels under those
+constraints: one invocation per tile, with the halo the host provides, which
+is why in-situ speedups are smaller than the standalone ones of Figure 7.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .legacy import PHOTOSHOP_TILE, _iter_tiles, legacy_photoshop_filter
+from .lifted import apply_lifted_photoshop
+
+
+def insitu_lifted_photoshop(result, filter_name: str, planes: dict[str, np.ndarray],
+                            params: dict | None = None) -> dict[str, np.ndarray]:
+    """Run a lifted filter under the host application's tiling constraints."""
+    params = params or {}
+    if filter_name in ("equalize", "brightness", "sharpen_edges", "despeckle"):
+        # Partially-lifted filters: the host still owns most of the work, so
+        # the end-to-end path is the legacy one with only a small portion
+        # replaced; their in-situ speedups hover around 1x (Figure 9).
+        return legacy_photoshop_filter(filter_name, planes, params)
+    sample = next(iter(planes.values()))
+    height, width = sample.shape
+    outputs = {channel: np.zeros_like(plane) for channel, plane in planes.items()}
+    for y0, y1, x0, x1 in _iter_tiles(height, width, PHOTOSHOP_TILE):
+        lo_y, hi_y = max(0, y0 - 1), min(height, y1 + 1)
+        lo_x, hi_x = max(0, x0 - 1), min(width, x1 + 1)
+        tile_planes = {c: p[lo_y:hi_y, lo_x:hi_x] for c, p in planes.items()}
+        tile_out = apply_lifted_photoshop(result, filter_name, tile_planes, params)
+        for channel, produced in tile_out.items():
+            outputs[channel][y0:y1, x0:x1] = \
+                produced[y0 - lo_y: y0 - lo_y + (y1 - y0), x0 - lo_x: x0 - lo_x + (x1 - x0)]
+    return outputs

@@ -1,0 +1,37 @@
+"""32-bit x86 subset: assembler, modules/loader, paged memory and an emulator
+with instrumentation hooks.  This is the substrate standing in for the real
+hardware plus DynamoRIO in the Helium reproduction."""
+
+from .assembler import AssemblerError, assemble, parse_memory_operand
+from .cpu import CPUState
+from .emulator import AddressExpression, EmulationError, Emulator, MemoryAccess
+from .instructions import Imm, Instruction, Label, Mem, Operand, Reg
+from .memory import HEAP_BASE, MODULE_BASE, PAGE_SIZE, STACK_TOP, Memory
+from .module import (
+    EXTERNAL_BASE,
+    ExternalFunction,
+    INSTRUCTION_SPACING,
+    LinkError,
+    Module,
+    Program,
+    RETURN_SENTINEL,
+)
+from .registers import (
+    FLAGS_ADDRESS,
+    REGISTER_SPACE_BASE,
+    is_register,
+    is_register_address,
+    register_address,
+    register_width,
+)
+
+__all__ = [
+    "AssemblerError", "assemble", "parse_memory_operand", "CPUState",
+    "AddressExpression", "EmulationError", "Emulator", "MemoryAccess",
+    "Imm", "Instruction", "Label", "Mem", "Operand", "Reg",
+    "HEAP_BASE", "MODULE_BASE", "PAGE_SIZE", "STACK_TOP", "Memory",
+    "EXTERNAL_BASE", "ExternalFunction", "INSTRUCTION_SPACING", "LinkError",
+    "Module", "Program", "RETURN_SENTINEL",
+    "FLAGS_ADDRESS", "REGISTER_SPACE_BASE", "is_register", "is_register_address",
+    "register_address", "register_width",
+]

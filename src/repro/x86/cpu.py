@@ -1,0 +1,73 @@
+"""Architectural state of the emulated 32-bit x86 CPU."""
+
+from __future__ import annotations
+
+from .registers import GPR32, PARTIAL_REGISTERS, XMM_REGISTERS
+
+MASK32 = 0xFFFF_FFFF
+
+
+class CPUState:
+    """General purpose registers, flags, x87 stack and scalar SSE registers."""
+
+    __slots__ = ("regs", "eip", "zf", "sf", "cf", "of", "fpu", "fpu_top", "xmm", "halted")
+
+    def __init__(self) -> None:
+        self.regs: dict[str, int] = {name: 0 for name in GPR32}
+        self.eip: int = 0
+        self.zf = False
+        self.sf = False
+        self.cf = False
+        self.of = False
+        #: Physical x87 data slots; ``fpu_top`` indexes the current stack top.
+        self.fpu: list[float] = [0.0] * 8
+        self.fpu_top: int = 0
+        self.xmm: dict[str, float] = {name: 0.0 for name in XMM_REGISTERS}
+        self.halted = False
+
+    # -- general purpose registers ---------------------------------------
+
+    def get_reg(self, name: str) -> int:
+        if name in self.regs:
+            return self.regs[name]
+        parent, offset, width = PARTIAL_REGISTERS[name]
+        value = self.regs[parent]
+        return (value >> (offset * 8)) & ((1 << (width * 8)) - 1)
+
+    def set_reg(self, name: str, value: int) -> None:
+        if name in self.regs:
+            self.regs[name] = value & MASK32
+            return
+        parent, offset, width = PARTIAL_REGISTERS[name]
+        mask = ((1 << (width * 8)) - 1) << (offset * 8)
+        old = self.regs[parent]
+        self.regs[parent] = (old & ~mask) | ((value << (offset * 8)) & mask)
+
+    # -- x87 stack ---------------------------------------------------------
+
+    def st_slot(self, depth: int) -> int:
+        """Physical slot index of st(depth)."""
+        return (self.fpu_top + depth) % 8
+
+    def fpu_get(self, depth: int) -> float:
+        return self.fpu[self.st_slot(depth)]
+
+    def fpu_set(self, depth: int, value: float) -> None:
+        self.fpu[self.st_slot(depth)] = value
+
+    def fpu_push(self, value: float) -> None:
+        self.fpu_top = (self.fpu_top - 1) % 8
+        self.fpu[self.fpu_top] = value
+
+    def fpu_pop(self) -> float:
+        value = self.fpu[self.fpu_top]
+        self.fpu_top = (self.fpu_top + 1) % 8
+        return value
+
+    # -- flags --------------------------------------------------------------
+
+    def flag(self, name: str) -> bool:
+        return {"zf": self.zf, "sf": self.sf, "cf": self.cf, "of": self.of}[name]
+
+    def snapshot_regs(self) -> dict[str, int]:
+        return dict(self.regs)

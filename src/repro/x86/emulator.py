@@ -1,0 +1,255 @@
+"""The x86 emulator with DynamoRIO-style instrumentation hooks.
+
+Instrumentation tools (``repro.dynamo``) attach to an :class:`Emulator` and
+receive callbacks for basic blocks, calls/returns, and executed instructions
+together with the memory accesses each instruction performed (address, width,
+direction, value and — for indirect operands — the address expression with the
+concrete register values, exactly the artifacts the paper's tracing client
+records in sections 3.1 and 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .cpu import CPUState
+from .instructions import Imm, Instruction, Label, Mem, Operand, Reg
+from .memory import Memory, STACK_TOP
+from .module import Program, RETURN_SENTINEL
+from .semantics import HANDLERS, evaluate_condition
+
+MASK32 = 0xFFFF_FFFF
+
+
+class EmulationError(Exception):
+    """Raised when execution cannot continue."""
+
+
+@dataclass(frozen=True)
+class AddressExpression:
+    """The components of an indirect memory operand at execution time."""
+
+    base: Optional[str]
+    base_value: int
+    index: Optional[str]
+    index_value: int
+    scale: int
+    disp: int
+
+    def compute(self) -> int:
+        return (self.base_value + self.index_value * self.scale + self.disp) & MASK32
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One dynamic memory access performed by an instruction."""
+
+    address: int
+    width: int
+    is_write: bool
+    value: int | float
+    expression: Optional[AddressExpression] = None
+
+
+class Emulator:
+    """Executes a loaded :class:`~repro.x86.module.Program`."""
+
+    def __init__(self, program: Program, memory: Memory | None = None) -> None:
+        self.program = program
+        self.memory = memory if memory is not None else Memory()
+        self.cpu = CPUState()
+        self.cpu.set_reg("esp", STACK_TOP)
+        self.cpuid_intercepted = False
+        self.instruction_count = 0
+        self.max_instructions = 500_000_000
+        self._tools: list = []
+        self._access_log: list[MemoryAccess] = []
+        self._current_expression: Optional[AddressExpression] = None
+        self._rebind_hooks()
+
+    # -- instrumentation ----------------------------------------------------
+
+    def attach(self, tool) -> None:
+        self._tools.append(tool)
+        tool.attached(self)
+        self._rebind_hooks()
+
+    def detach_all(self) -> None:
+        self._tools.clear()
+        self._rebind_hooks()
+
+    def _rebind_hooks(self) -> None:
+        self._block_hooks = [t.on_block for t in self._tools if hasattr(t, "on_block")]
+        self._call_hooks = [t.on_call for t in self._tools if hasattr(t, "on_call")]
+        self._ret_hooks = [t.on_ret for t in self._tools if hasattr(t, "on_ret")]
+        self._ins_hooks = [t.on_instruction for t in self._tools if hasattr(t, "on_instruction")]
+        self._done_hooks = [t.on_instruction_done for t in self._tools
+                            if hasattr(t, "on_instruction_done")]
+
+    # -- operand helpers ------------------------------------------------------
+
+    def operand_width(self, *operands: Operand) -> int:
+        for op in operands:
+            if isinstance(op, (Reg, Mem)):
+                return op.width
+        return 4
+
+    def effective_address(self, op: Mem) -> int:
+        base_value = self.cpu.get_reg(op.base) if op.base else 0
+        index_value = self.cpu.get_reg(op.index) if op.index else 0
+        self._current_expression = AddressExpression(
+            base=op.base, base_value=base_value, index=op.index,
+            index_value=index_value, scale=op.scale, disp=op.disp)
+        return (base_value + index_value * op.scale + op.disp) & MASK32
+
+    def read_operand(self, op: Operand, width: int | None = None) -> int:
+        if isinstance(op, Imm):
+            return op.value & MASK32
+        if isinstance(op, Reg):
+            return self.cpu.get_reg(op.name)
+        if isinstance(op, Mem):
+            address = self.effective_address(op)
+            return self.mem_read(address, op.size)
+        if isinstance(op, Label):
+            return self.program.resolve(op.name)
+        raise EmulationError(f"cannot read operand {op}")
+
+    def write_operand(self, op: Operand, value: int, width: int | None = None) -> None:
+        if isinstance(op, Reg):
+            self.cpu.set_reg(op.name, value)
+            return
+        if isinstance(op, Mem):
+            address = self.effective_address(op)
+            self.mem_write(address, op.size, value)
+            return
+        raise EmulationError(f"cannot write operand {op}")
+
+    # -- memory with access logging ------------------------------------------
+
+    def mem_read(self, address: int, width: int) -> int:
+        value = self.memory.read_uint(address, width)
+        self._access_log.append(MemoryAccess(address, width, False, value,
+                                             self._take_expression()))
+        return value
+
+    def mem_write(self, address: int, width: int, value: int) -> None:
+        self.memory.write_uint(address, width, value)
+        self._access_log.append(MemoryAccess(address, width, True,
+                                             value & ((1 << (width * 8)) - 1),
+                                             self._take_expression()))
+
+    def mem_read_float(self, address: int, width: int) -> float:
+        value = self.memory.read_float(address, width)
+        self._access_log.append(MemoryAccess(address, width, False, value,
+                                             self._take_expression()))
+        return value
+
+    def mem_write_float(self, address: int, width: int, value: float) -> None:
+        self.memory.write_float(address, width, value)
+        self._access_log.append(MemoryAccess(address, width, True, value,
+                                             self._take_expression()))
+
+    def log_access(self, address: int, width: int, is_write: bool,
+                   value: int | float = 0) -> None:
+        self._access_log.append(MemoryAccess(address, width, is_write, value,
+                                             self._take_expression()))
+
+    def _take_expression(self) -> Optional[AddressExpression]:
+        expr = self._current_expression
+        self._current_expression = None
+        return expr
+
+    # -- control flow ----------------------------------------------------------
+
+    def resolve_target(self, op: Operand) -> int:
+        if isinstance(op, Label):
+            return self.program.resolve(op.name)
+        if isinstance(op, Imm):
+            return op.value & MASK32
+        if isinstance(op, Reg):
+            return self.cpu.get_reg(op.name)
+        if isinstance(op, Mem):
+            address = self.effective_address(op)
+            return self.mem_read(address, op.size)
+        raise EmulationError(f"cannot resolve branch target {op}")
+
+    def next_address(self, ins: Instruction) -> int:
+        return self.program.next_address(ins)
+
+    # -- execution ---------------------------------------------------------------
+
+    def call_function(self, entry: int | str, args: Sequence[int] = (),
+                      max_instructions: int | None = None) -> int:
+        """Call a function with the cdecl convention and run it to completion."""
+        address = self.program.resolve(entry) if isinstance(entry, str) else entry
+        esp = self.cpu.get_reg("esp")
+        for arg in reversed(list(args)):
+            esp = (esp - 4) & MASK32
+            self.memory.write_uint(esp, 4, arg & MASK32)
+        esp = (esp - 4) & MASK32
+        self.memory.write_uint(esp, 4, RETURN_SENTINEL)
+        self.cpu.set_reg("esp", esp)
+        self.run(address, stop_address=RETURN_SENTINEL,
+                 max_instructions=max_instructions)
+        # cdecl: caller cleans up the arguments.
+        self.cpu.set_reg("esp", (self.cpu.get_reg("esp") + 4 * len(args)) & MASK32)
+        return self.cpu.get_reg("eax")
+
+    def run(self, start: int, stop_address: int | None = None,
+            max_instructions: int | None = None) -> None:
+        cpu = self.cpu
+        program = self.program
+        instruction_at = program.instruction_at
+        budget = max_instructions if max_instructions is not None else self.max_instructions
+        cpu.eip = start
+        current_block = start
+        for hook in self._block_hooks:
+            hook(start, None, self)
+        while True:
+            eip = cpu.eip
+            if stop_address is not None and eip == stop_address:
+                return
+            external = program.external_by_address.get(eip)
+            if external is not None:
+                return_address = self.memory.read_uint(cpu.get_reg("esp"), 4)
+                external.implementation(self)
+                cpu.set_reg("esp", (cpu.get_reg("esp") + 4) & MASK32)
+                for hook in self._ret_hooks:
+                    hook(return_address, self)
+                cpu.eip = return_address
+                current_block = return_address
+                continue
+            ins = instruction_at.get(eip)
+            if ins is None:
+                raise EmulationError(f"execution reached unmapped address {eip:#x}")
+            if self.instruction_count >= budget:
+                raise EmulationError("instruction budget exceeded")
+            self.instruction_count += 1
+            for hook in self._ins_hooks:
+                hook(ins, self)
+            self._access_log.clear()
+            self._current_expression = None
+            handler = HANDLERS.get(ins.mnemonic)
+            if handler is None:
+                raise EmulationError(f"unimplemented mnemonic {ins.mnemonic!r} at {eip:#x}")
+            target = handler(self, ins)
+            if self._done_hooks:
+                accesses = tuple(self._access_log)
+                for hook in self._done_hooks:
+                    hook(ins, accesses, self)
+            if ins.mnemonic == "call":
+                for hook in self._call_hooks:
+                    hook(target, ins.address, self)
+            elif ins.mnemonic == "ret":
+                for hook in self._ret_hooks:
+                    hook(target, self)
+            next_eip = target if target is not None else ins.address + 4
+            if ins.is_block_terminator or target is not None:
+                # Only real code addresses start basic blocks; returning to the
+                # call_function sentinel is not a block.
+                if next_eip in instruction_at or next_eip in program.external_by_address:
+                    for hook in self._block_hooks:
+                        hook(next_eip, current_block, self)
+                    current_block = next_eip
+            cpu.eip = next_eip

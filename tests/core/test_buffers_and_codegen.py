@@ -1,0 +1,88 @@
+"""Unit tests for buffer inference (section 4.3) and Halide code generation."""
+
+import numpy as np
+import pytest
+
+from repro.core.buffers import BufferDim, BufferSpec, infer_buffer_generic
+from repro.core.codegen import LiftedKernel, generate_funcs, generate_halide_cpp
+from repro.core.regions import AccessSample, reconstruct_regions
+from repro.core.symbolic import SymbolicTree
+from repro.ir import BinOp, BufferAccess, Cast, Const, Op, Var, UINT8, UINT32
+
+
+class TestBufferSpec:
+    def spec(self):
+        return BufferSpec(name="input_1", base=0x1000, element_size=1,
+                          dims=[BufferDim(1, 14), BufferDim(16, 11)], dtype=UINT8)
+
+    def test_indices_roundtrip(self):
+        spec = self.spec()
+        for indices in [(0, 0), (3, 2), (13, 10)]:
+            assert spec.indices_of(spec.address_of(indices)) == indices
+
+    def test_extents(self):
+        assert self.spec().extents == (14, 11)
+
+    def test_read_array_shape_and_content(self):
+        spec = self.spec()
+        backing = {spec.address_of((x, y)): (x + 10 * y) & 0xFF
+                   for x in range(14) for y in range(11)}
+        array = spec.read_array(lambda addr, width: backing.get(addr, 0))
+        assert array.shape == (11, 14)
+        assert array[2, 3] == 3 + 20
+
+
+class TestGenericInference:
+    def test_two_level_region(self):
+        samples = [AccessSample(0x1, 0x4000 + r * 32 + c, 1, False)
+                   for r in range(8) for c in range(24)]
+        region = reconstruct_regions(samples)[0]
+        spec = infer_buffer_generic("input_1", region, "input")
+        assert spec.dimensionality == 2
+        assert [d.stride for d in spec.dims] == [1, 32]
+        assert [d.extent for d in spec.dims] == [24, 8]
+
+    def test_flat_region_is_one_dimensional(self):
+        samples = [AccessSample(0x1, 0x4000 + i * 4, 4, False) for i in range(64)]
+        region = reconstruct_regions(samples)[0]
+        spec = infer_buffer_generic("hist", region, "output")
+        assert spec.dimensionality == 1
+        assert spec.element_size == 4
+        assert spec.dims[0].extent == 64
+
+
+def simple_kernel():
+    x, y = Var("x_0"), Var("x_1")
+    expr = Cast(UINT8, BinOp(Op.ADD,
+                             Cast(UINT32, BufferAccess("input_1", [x, y], UINT8)),
+                             Const(1, UINT32)))
+    cluster = SymbolicTree(buffer="output_1", dims=2, expr=expr, predicates=(), support=10)
+    specs = {
+        "output_1": BufferSpec("output_1", 0x8000, 1,
+                               [BufferDim(1, 8), BufferDim(16, 8)], UINT8, role="output"),
+        "input_1": BufferSpec("input_1", 0x1000, 1,
+                              [BufferDim(1, 8), BufferDim(16, 8)], UINT8, role="input"),
+    }
+    return LiftedKernel(output="output_1", dims=2, clusters=[cluster], buffer_specs=specs)
+
+
+class TestCodegen:
+    def test_generate_funcs(self):
+        func = generate_funcs(simple_kernel())
+        assert func.name == "output_1"
+        assert [v.name for v in func.variables] == ["x_0", "x_1"]
+        assert func.inputs and func.inputs[0].name == "input_1"
+
+    def test_generated_cpp_structure(self):
+        source = generate_halide_cpp(simple_kernel())
+        assert source.startswith("#include <Halide.h>")
+        assert "Var x_0;" in source and "Var x_1;" in source
+        assert "ImageParam input_1(UInt(8),2);" in source
+        assert "Func output_1;" in source
+        assert "output_1(x_0,x_1) =" in source
+        assert 'compile_to_file("halide_out_0",args);' in source
+
+    def test_input_names_and_parameters(self):
+        kernel = simple_kernel()
+        assert kernel.input_names == ["input_1"]
+        assert kernel.parameters == []

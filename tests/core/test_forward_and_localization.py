@@ -1,0 +1,110 @@
+"""Unit tests for the forward analysis and code localization stages."""
+
+import pytest
+
+from repro.apps import PhotoshopApp
+from repro.core import localize
+from repro.core.forward import forward_analyze
+from repro.core.localization import (
+    LocalizationError,
+    find_candidate_regions,
+    select_filter_function,
+)
+from repro.core.regions import reconstruct_regions, samples_from_itrace
+from repro.dynamo import CoverageTool, InstructionTraceTool, MemoryTraceTool, ProfileTool
+
+
+@pytest.fixture(scope="module")
+def photoshop():
+    return PhotoshopApp(width=12, height=9, seed=5)
+
+
+def capture(photoshop, filter_name):
+    """Run the localization stages by hand and return the intermediate data."""
+    with_tool, without_tool = CoverageTool(), CoverageTool()
+    photoshop.run(filter_name, tools=[with_tool])
+    photoshop.run(None, tools=[without_tool])
+    diff = with_tool.blocks - without_tool.blocks
+    profile, memtrace = ProfileTool(diff), MemoryTraceTool(diff)
+    photoshop.run(filter_name, tools=[profile, memtrace])
+    return with_tool.blocks, without_tool.blocks, profile.profile, memtrace.records
+
+
+class TestLocalization:
+    def test_blur_localizes_to_its_kernel(self, photoshop):
+        cov_with, cov_without, profile, memtrace = capture(photoshop, "blur")
+        result = localize(cov_with, cov_without, profile, memtrace,
+                          photoshop.data_size_estimate("blur"))
+        symbol = photoshop.program.symbol_for_address(result.filter_function)
+        assert symbol == "ps_blur"
+        assert result.candidate_instructions
+        # All candidate instructions live inside the filters module.
+        assert all(photoshop.program.module_of[a] == "ps_filters"
+                   for a in result.candidate_instructions)
+
+    def test_background_code_is_screened_out(self, photoshop):
+        cov_with, cov_without, profile, memtrace = capture(photoshop, "invert")
+        diff = cov_with - cov_without
+        bg_blocks = {a for a in cov_with
+                     if photoshop.program.module_of.get(a) == "ps_main"}
+        assert bg_blocks, "background code should have executed"
+        assert not (bg_blocks & diff), "background blocks must not survive the diff"
+
+    def test_empty_difference_raises(self, photoshop):
+        cov_with, cov_without, profile, memtrace = capture(photoshop, "blur")
+        with pytest.raises(LocalizationError):
+            localize(cov_with, cov_with, profile, memtrace, 100)
+
+    def test_candidate_regions_exclude_stack(self, photoshop):
+        _, _, _, memtrace = capture(photoshop, "blur")
+        from repro.core.regions import samples_from_memtrace
+
+        regions = reconstruct_regions(samples_from_memtrace(memtrace))
+        candidates = find_candidate_regions(regions, photoshop.data_size_estimate("blur"))
+        from repro.x86.memory import STACK_TOP
+
+        assert all(not (STACK_TOP - 0x10000 <= r.start <= STACK_TOP) for r in candidates)
+        # Six planes (three input + three output) survive as candidates.
+        assert len(candidates) >= 6
+
+
+class TestForwardAnalysis:
+    def trace_filter(self, photoshop, filter_name):
+        entry = photoshop.program.resolve(photoshop.filter_function_symbol(filter_name))
+        tracer = InstructionTraceTool(entry_address=entry)
+        photoshop.run(filter_name, tools=[tracer])
+        return tracer.trace
+
+    def test_blur_has_no_input_dependent_conditionals(self, photoshop):
+        trace = self.trace_filter(photoshop, "blur")
+        regions = reconstruct_regions(samples_from_itrace(trace))
+        inputs = [r for r in regions if r.read and not r.written and r.size > 50]
+        forward = forward_analyze(trace, inputs)
+        assert forward.input_reading_instructions
+        assert forward.input_dependent_conditionals == set()
+        assert forward.indirect_access_instructions == set()
+
+    def test_threshold_conditional_is_input_dependent(self, photoshop):
+        trace = self.trace_filter(photoshop, "threshold")
+        regions = reconstruct_regions(samples_from_itrace(trace))
+        inputs = [r for r in regions if r.read and not r.written and r.size > 50]
+        forward = forward_analyze(trace, inputs)
+        assert len(forward.input_dependent_conditionals) == 1
+        # Loop-control branches must not be flagged.
+        site = next(iter(forward.input_dependent_conditionals))
+        assert photoshop.program.instruction_at[site].mnemonic == "ja"
+
+    def test_brightness_lut_access_is_indirect(self, photoshop):
+        trace = self.trace_filter(photoshop, "brightness")
+        regions = reconstruct_regions(samples_from_itrace(trace))
+        inputs = [r for r in regions if r.read and not r.written and r.size > 50]
+        forward = forward_analyze(trace, inputs)
+        assert forward.indirect_access_instructions
+        assert forward.indirect_access_addresses
+
+    def test_annotations_empty_for_unconditional_kernel(self, photoshop):
+        trace = self.trace_filter(photoshop, "invert")
+        regions = reconstruct_regions(samples_from_itrace(trace))
+        inputs = [r for r in regions if r.read and not r.written and r.size > 50]
+        forward = forward_analyze(trace, inputs)
+        assert all(not events for events in forward.annotations.values())

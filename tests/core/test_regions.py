@@ -1,0 +1,126 @@
+"""Unit and property tests for buffer structure reconstruction (Figure 3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.regions import AccessSample, merge_nearby_regions, reconstruct_regions
+
+
+def strided_samples(base, rows, row_bytes, stride, instr=0x1000, width=1):
+    samples = []
+    for row in range(rows):
+        for col in range(row_bytes):
+            samples.append(AccessSample(instr, base + row * stride + col, width, False))
+    return samples
+
+
+class TestReconstruction:
+    def test_single_contiguous_region(self):
+        samples = [AccessSample(0x1000, 0x5000 + i, 1, False) for i in range(64)]
+        regions = reconstruct_regions(samples)
+        assert len(regions) == 1
+        assert regions[0].start == 0x5000 and regions[0].size == 64
+        assert regions[0].dimensionality == 1
+
+    def test_duplicate_addresses_removed(self):
+        samples = [AccessSample(0x1000, 0x5000 + (i % 8), 1, False) for i in range(100)]
+        regions = reconstruct_regions(samples)
+        assert len(regions) == 1 and regions[0].size == 8
+
+    def test_strided_rows_grouped_into_2d(self):
+        regions = reconstruct_regions(strided_samples(0x8000, rows=10, row_bytes=24, stride=32))
+        assert len(regions) == 1
+        region = regions[0]
+        assert region.dimensionality == 2
+        assert region.levels[0].stride == 32
+        assert region.levels[0].count == 10
+
+    def test_unrolled_instructions_merge(self):
+        # Two instructions each touching alternate bytes of the same buffer.
+        samples = [AccessSample(0x1000 + 4 * (i % 2), 0x5000 + i, 1, False) for i in range(32)]
+        regions = reconstruct_regions(samples)
+        assert len(regions) == 1
+        assert regions[0].instructions == {0x1000, 0x1004}
+
+    def test_3d_grid_two_levels(self):
+        samples = []
+        for plane in range(4):
+            samples.extend(strided_samples(0x20000 + plane * 2048, rows=6,
+                                           row_bytes=64, stride=96))
+        regions = reconstruct_regions(samples)
+        assert len(regions) == 1
+        assert regions[0].dimensionality == 3
+        strides = [level.stride for level in regions[0].levels]
+        assert strides == [96, 2048]
+
+    def test_separate_buffers_stay_separate(self):
+        samples = strided_samples(0x10000, 8, 16, 32)
+        samples += strided_samples(0x90000, 8, 16, 32)
+        regions = reconstruct_regions(samples)
+        assert len(regions) == 2
+
+    def test_element_size_uses_most_common_width(self):
+        samples = [AccessSample(0x1, 0x5000 + 4 * i, 4, False) for i in range(32)]
+        samples += [AccessSample(0x2, 0x5000, 1, False)]
+        regions = reconstruct_regions(samples)
+        assert regions[0].element_size == 4
+
+    def test_read_write_flags(self):
+        samples = [AccessSample(0x1, 0x5000 + i, 1, i % 2 == 0) for i in range(32)]
+        region = reconstruct_regions(samples)[0]
+        assert region.read and region.written
+
+    def test_register_pseudo_addresses_excluded(self):
+        from repro.x86.registers import register_address
+
+        samples = [AccessSample(0x1, register_address("eax"), 4, False)]
+        assert reconstruct_regions(samples) == []
+
+
+class TestMergeNearby:
+    def test_small_fringe_merges_into_big_neighbour(self):
+        regions = reconstruct_regions(
+            strided_samples(0x8000 + 33, rows=1, row_bytes=12, stride=32) +
+            strided_samples(0x8000 + 64, rows=9, row_bytes=14, stride=32))
+        assert len(regions) == 1
+
+    def test_equal_sized_regions_do_not_merge(self):
+        a = reconstruct_regions(strided_samples(0x8000, 1, 64, 64))
+        b = reconstruct_regions(strided_samples(0x8000 + 80, 1, 64, 64))
+        merged = merge_nearby_regions(a + b)
+        assert len(merged) == 2
+
+
+class TestReconstructionProperties:
+    @given(rows=st.integers(min_value=3, max_value=12),
+           row_bytes=st.integers(min_value=4, max_value=24),
+           pad=st.integers(min_value=1, max_value=16),
+           base=st.integers(min_value=0x1000, max_value=0x100000))
+    @settings(max_examples=60, deadline=None)
+    def test_padded_rows_always_recover_stride(self, rows, row_bytes, pad, base):
+        stride = row_bytes + pad
+        regions = reconstruct_regions(strided_samples(base, rows, row_bytes, stride))
+        assert len(regions) == 1
+        region = regions[0]
+        assert region.dimensionality == 2
+        assert region.levels[0].stride == stride
+        assert region.levels[0].count == rows
+        assert region.start == base
+
+    @given(sizes=st.lists(st.integers(min_value=1, max_value=40), min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_distant_buffers_never_merge(self, sizes):
+        # Distinct allocations separated by large, *irregular* gaps stay
+        # separate.  (Equally-sized buffers at a constant spacing are linked
+        # on purpose — that is Figure 3's stride rule — which is why the
+        # simulated heap varies its allocation gaps.)
+        samples = []
+        bases = []
+        cursor = 0x10000
+        for index, size in enumerate(sizes):
+            bases.append(cursor)
+            samples.extend(AccessSample(0x1, cursor + i, 1, False) for i in range(size))
+            cursor += size + 0x2000 + index * 0x700
+        regions = reconstruct_regions(samples)
+        assert len(regions) == len(sizes)
+        assert [r.start for r in regions] == bases

@@ -1,0 +1,103 @@
+"""Unit tests for abstraction, clustering and the affine linear solve."""
+
+import pytest
+
+from repro.core.buffers import BufferDim, BufferSpec
+from repro.core.symbolic import (
+    AbstractTree,
+    SymbolicLiftError,
+    _affine_expr,
+    _solve_affine,
+    cluster_trees,
+    lift_cluster,
+)
+from repro.core.trees import ConcreteTree, PredicateInfo
+from repro.core.symbolic import abstract_tree
+from repro.ir import BinOp, BufferAccess, Cast, Const, MemLoad, Op, Var, UINT8, UINT32
+
+
+def make_spec(name, base, width=16, height=8, stride=16, role="input"):
+    return BufferSpec(name=name, base=base, element_size=1,
+                      dims=[BufferDim(1, width), BufferDim(stride, height)],
+                      dtype=UINT8, role=role)
+
+
+class TestAffineSolve:
+    def test_simple_shift(self):
+        rows = [((x, y), x + 1) for x, y in [(0, 0), (3, 2), (5, 7)]]
+        assert _solve_affine(rows, dims=2) == [1, 0, 1]
+
+    def test_transposed_access(self):
+        rows = [((x, y), y) for x, y in [(0, 0), (3, 2), (5, 7)]]
+        assert _solve_affine(rows, dims=2) == [0, 1, 0]
+
+    def test_scaled_access(self):
+        rows = [((x,), 3 * x + 2) for x in (0, 1, 5, 9)]
+        assert _solve_affine(rows, dims=1) == [3, 2]
+
+    def test_non_affine_raises(self):
+        rows = [((x,), x * x) for x in (0, 1, 2, 3)]
+        with pytest.raises(SymbolicLiftError):
+            _solve_affine(rows, dims=1)
+
+    def test_constant_dimension(self):
+        rows = [((x, 4), x) for x in (0, 2, 5)]
+        coefficients = _solve_affine(rows, dims=2)
+        assert coefficients[0] == 1 and coefficients[2] == 0
+
+    def test_affine_expr_rendering(self):
+        expr = _affine_expr([1, 0, 2], [Var("x_0"), Var("x_1")])
+        assert str(expr) in ("(x_0 + 2)", "(2 + x_0)")
+
+
+def concrete_blur_tree(spec_in, spec_out, x, y):
+    """A small synthetic 1D-blur concrete tree at output (x, y)."""
+    center = MemLoad(spec_in.address_of((x + 1, y + 1)), UINT8)
+    left = MemLoad(spec_in.address_of((x, y + 1)), UINT8)
+    expr = Cast(UINT8, BinOp(Op.ADD, Cast(UINT32, center), Cast(UINT32, left), UINT32))
+    return ConcreteTree(buffer=spec_out.name, root_address=spec_out.address_of((x, y)),
+                        root_width=1, expr=expr)
+
+
+class TestAbstractionAndClustering:
+    def test_abstract_tree_indices(self):
+        spec_in = make_spec("input_1", 0x1000)
+        spec_out = make_spec("output_1", 0x8000, role="output")
+        specs = {s.name: s for s in (spec_in, spec_out)}
+        tree = concrete_blur_tree(spec_in, spec_out, 3, 2)
+        abstract = abstract_tree(tree, specs)
+        assert abstract.root_indices == (3, 2)
+        accesses = [n for n in abstract.expr.walk() if isinstance(n, BufferAccess)]
+        assert {tuple(int(i.value) for i in a.indices) for a in accesses} == {(4, 3), (3, 3)}
+
+    def test_clustering_same_structure(self):
+        spec_in = make_spec("input_1", 0x1000)
+        spec_out = make_spec("output_1", 0x8000, role="output")
+        specs = {s.name: s for s in (spec_in, spec_out)}
+        trees = [abstract_tree(concrete_blur_tree(spec_in, spec_out, x, y), specs)
+                 for x in range(6) for y in range(4)]
+        clusters = cluster_trees(trees)
+        assert len(clusters) == 1
+        assert len(clusters[0].trees) == 24
+
+    def test_clustering_separates_different_buffers(self):
+        spec_in1 = make_spec("input_1", 0x1000)
+        spec_in2 = make_spec("input_2", 0x3000)
+        spec_out = make_spec("output_1", 0x8000, role="output")
+        specs = {s.name: s for s in (spec_in1, spec_in2, spec_out)}
+        trees = [abstract_tree(concrete_blur_tree(spec_in1, spec_out, 1, 1), specs),
+                 abstract_tree(concrete_blur_tree(spec_in2, spec_out, 1, 1), specs)]
+        assert len(cluster_trees(trees)) == 2
+
+    def test_lift_cluster_recovers_symbolic_indices(self):
+        spec_in = make_spec("input_1", 0x1000)
+        spec_out = make_spec("output_1", 0x8000, role="output")
+        specs = {s.name: s for s in (spec_in, spec_out)}
+        trees = [abstract_tree(concrete_blur_tree(spec_in, spec_out, x, y), specs)
+                 for x in range(6) for y in range(4)]
+        cluster = cluster_trees(trees)[0]
+        symbolic = lift_cluster(cluster, specs)
+        text = str(symbolic.expr)
+        assert "x_0" in text and "x_1" in text
+        assert "input_1" in text
+        assert symbolic.support == 24

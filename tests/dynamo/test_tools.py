@@ -1,0 +1,118 @@
+"""Unit tests for the instrumentation tools (coverage, profiling, tracing)."""
+
+import pytest
+
+from repro.dynamo import (
+    CoverageTool,
+    DynamicCFG,
+    InstructionTraceTool,
+    MemoryTraceTool,
+    ProfileTool,
+    coverage_difference,
+)
+from repro.x86 import Emulator, Module, Program
+
+PROGRAM_TEXT = """
+helper:
+  mov eax, dword ptr [ebp+0x8]
+  movzx ecx, byte ptr [eax]
+  add ecx, 1
+  mov byte ptr [eax+0x40], cl
+  ret
+
+main_with:
+  push ebp
+  mov ebp, esp
+  mov ecx, 8
+main_with__loop:
+  push ecx
+  push dword ptr [ebp+0x8]
+  call helper
+  add esp, 4
+  pop ecx
+  add dword ptr [ebp+0x8], 1
+  dec ecx
+  jnz main_with__loop
+  pop ebp
+  ret
+
+main_without:
+  mov eax, 7
+  ret
+"""
+
+
+@pytest.fixture()
+def program():
+    return Program([Module.from_assembly("m", PROGRAM_TEXT)]).load()
+
+
+def run(program, entry, tools, args=()):
+    emu = Emulator(program)
+    buffer = emu.memory.alloc(256)
+    for tool in tools:
+        emu.attach(tool)
+    emu.call_function(entry, [buffer, *args])
+    return emu
+
+
+class TestCoverage:
+    def test_difference_isolates_kernel_blocks(self, program):
+        with_tool, without_tool = CoverageTool(), CoverageTool()
+        run(program, "main_with", [with_tool])
+        run(program, "main_without", [without_tool])
+        diff = coverage_difference(with_tool.blocks, without_tool.blocks)
+        assert program.resolve("helper") in diff
+        assert program.resolve("main_without") not in diff
+        assert diff.issubset(with_tool.blocks)
+
+
+class TestProfileAndCFG:
+    def test_counts_and_call_targets(self, program):
+        tool = ProfileTool()
+        run(program, "main_with", [tool])
+        helper = program.resolve("helper")
+        assert tool.profile.call_targets.get(helper) == 8
+        loop_block = program.resolve("main_with__loop")
+        # The loop head is entered once by fall-through (not a control
+        # transfer, so not counted as a block entry) and seven times by the
+        # back edge.
+        assert tool.profile.counts[loop_block] == 7
+
+    def test_cfg_function_assignment(self, program):
+        tool = ProfileTool()
+        run(program, "main_with", [tool])
+        cfg = DynamicCFG(tool.profile)
+        helper = program.resolve("helper")
+        assert cfg.function_of_instruction(helper + 8) == helper
+        assert helper in cfg.functions()
+
+
+class TestMemoryTrace:
+    def test_records_have_widths_and_directions(self, program):
+        tool = MemoryTraceTool()
+        emu = run(program, "main_with", [tool])
+        reads = [r for r in tool.records if not r.is_write]
+        writes = [r for r in tool.records if r.is_write]
+        assert reads and writes
+        assert {r.width for r in writes if r.width == 1} == {1}
+
+    def test_block_filtering(self, program):
+        helper = program.resolve("helper")
+        tool = MemoryTraceTool(instrumented_blocks={helper})
+        run(program, "main_with", [tool])
+        assert all(program.module_of.get(r.instruction_address) == "m" for r in tool.records)
+        instruction_addresses = {r.instruction_address for r in tool.records}
+        assert all(helper <= a < helper + 5 * 4 for a in instruction_addresses)
+
+
+class TestInstructionTrace:
+    def test_trace_bounds_and_dump(self, program):
+        helper = program.resolve("helper")
+        tool = InstructionTraceTool(entry_address=helper)
+        run(program, "main_with", [tool])
+        trace = tool.trace
+        assert len(trace.invocation_bounds) == 8
+        assert trace.dynamic_instruction_count() == 8 * 5
+        assert trace.entry_registers
+        assert trace.memory_dump  # pages of the touched buffer were dumped

@@ -1,0 +1,66 @@
+"""Tests for the autotuner and pipeline fusion components of mini-Halide."""
+
+import numpy as np
+import pytest
+
+from repro.halide import FusedPipeline, Func, Var, autotune, realize
+from repro.ir import BinOp, BufferAccess, Cast, Const, Op, UINT8, UINT32
+
+
+def blur_func():
+    x, y = Var("x_0"), Var("x_1")
+    expr = Cast(UINT8, BinOp(Op.SHR, BinOp(
+        Op.ADD,
+        BinOp(Op.ADD,
+              Cast(UINT32, BufferAccess("input_1", [x, BinOp(Op.ADD, y, Const(1))], UINT8)),
+              Cast(UINT32, BufferAccess("input_1", [BinOp(Op.ADD, x, Const(1)),
+                                                    BinOp(Op.ADD, y, Const(1))], UINT8)),
+              UINT32),
+        Cast(UINT32, BufferAccess("input_1", [BinOp(Op.ADD, x, Const(2)),
+                                              BinOp(Op.ADD, y, Const(1))], UINT8)),
+        UINT32), Const(2, UINT32)))
+    return Func("blur1d", [x, y], dtype=UINT8).define(expr)
+
+
+class TestAutotune:
+    def test_autotune_returns_best_schedule(self):
+        rng = np.random.default_rng(0)
+        padded = rng.integers(0, 256, size=(34, 66), dtype=np.uint8)
+        func = blur_func()
+        result = autotune(func, (64, 32), {"input_1": padded}, iterations=4, seed=1)
+        assert result.evaluations == 5
+        assert result.best_time > 0
+        assert func.schedule is result.best_schedule
+        assert result.best_time == min(t for _, t in result.history)
+
+    def test_autotune_does_not_change_results(self):
+        rng = np.random.default_rng(1)
+        padded = rng.integers(0, 256, size=(18, 34), dtype=np.uint8)
+        func = blur_func()
+        before = realize(func, (32, 16), {"input_1": padded})
+        autotune(func, (32, 16), {"input_1": padded}, iterations=3, seed=2)
+        after = realize(func, (32, 16), {"input_1": padded})
+        np.testing.assert_array_equal(before, after)
+
+
+class TestFusedPipeline:
+    def test_fused_equals_unfused_for_pointwise_stages(self):
+        rng = np.random.default_rng(2)
+        image = rng.integers(0, 256, size=(200, 64), dtype=np.uint8)
+        pipeline = FusedPipeline()
+        pipeline.add("invert", lambda img: (255 - img.astype(np.int32)).astype(np.uint8))
+        pipeline.add("dim", lambda img: (img // 2).astype(np.uint8))
+        np.testing.assert_array_equal(pipeline.run_fused(image, tile_rows=32),
+                                      pipeline.run_unfused(image))
+
+    def test_small_images_bypass_tiling(self):
+        image = np.arange(64, dtype=np.uint8).reshape(8, 8)
+        pipeline = FusedPipeline().add("id", lambda img: img)
+        np.testing.assert_array_equal(pipeline.run_fused(image, tile_rows=32), image)
+
+    def test_stage_order_preserved(self):
+        image = np.full((4, 4), 10, dtype=np.uint8)
+        pipeline = FusedPipeline()
+        pipeline.add("plus1", lambda img: img + 1)
+        pipeline.add("times2", lambda img: img * 2)
+        assert pipeline.run_unfused(image)[0, 0] == 22

@@ -1,0 +1,160 @@
+"""Unit tests for the legacy kernel code generators.
+
+Every emitter's assembly is executed in the emulator against a small buffer
+and compared bit-for-bit with its NumPy reference, independently of the full
+applications (which exercise them again at larger scale).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kgen import (
+    BoxBlurSpec, Conv2DSpec, FloatConvSpec, HistogramSpec, PointwiseSpec, ThresholdSpec,
+    emit_boxblur, emit_conv2d, emit_float_conv, emit_histogram, emit_pointwise,
+    emit_threshold, reference_boxblur, reference_conv2d, reference_float_conv,
+    reference_histogram, reference_pointwise, reference_threshold,
+)
+from repro.x86 import Emulator, Module, Program
+
+
+def run_planar_kernel(asm_text, entry, src_padded, width, height, stride, param=0):
+    program = Program([Module.from_assembly("k", asm_text)]).load()
+    emu = Emulator(program)
+    src = emu.memory.alloc(stride * (height + 2), align=16)
+    dst = emu.memory.alloc(stride * (height + 2), align=16)
+    for row in range(height + 2):
+        emu.memory.write_bytes(src + row * stride, src_padded[row].tobytes())
+    emu.call_function(entry, [src + stride + 1, dst + stride + 1,
+                              width, height, stride, stride, param])
+    out = np.zeros((height, width), dtype=np.uint8)
+    for row in range(height):
+        raw = emu.memory.read_bytes(dst + (row + 1) * stride + 1, width)
+        out[row] = np.frombuffer(raw, dtype=np.uint8)
+    return out, emu
+
+
+def random_padded(width, height, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(height + 2, width + 2), dtype=np.uint8)
+
+
+class TestConv2D:
+    def test_plain_blur(self):
+        spec = Conv2DSpec("k_blur", taps={(-1, 0): 1, (0, -1): 1, (0, 0): 4,
+                                          (0, 1): 1, (1, 0): 1}, shift=3, bias=4)
+        padded = random_padded(11, 7, seed=1)
+        out, _ = run_planar_kernel(emit_conv2d(spec), spec.name, padded, 11, 7, 16)
+        np.testing.assert_array_equal(out, reference_conv2d(spec, padded))
+
+    def test_clamped_sharpen(self):
+        spec = Conv2DSpec("k_sharpc", taps={(0, 0): 12, (-1, 0): -1, (0, -1): -1,
+                                            (0, 1): -1, (1, 0): -1},
+                          shift=3, bias=4, clamp=True)
+        padded = random_padded(9, 6, seed=2)
+        out, _ = run_planar_kernel(emit_conv2d(spec), spec.name, padded, 9, 6, 16)
+        reference = reference_conv2d(spec, padded)
+        np.testing.assert_array_equal(out, reference)
+        assert reference.max() == 255 or reference.min() == 0  # clamp exercised
+
+    def test_reciprocal_normalization(self):
+        spec = Conv2DSpec("k_recip", taps={(dy, dx): 1 for dy in (-1, 0, 1) for dx in (-1, 0, 1)},
+                          reciprocal=0x1C72)
+        padded = random_padded(8, 5, seed=3)
+        out, _ = run_planar_kernel(emit_conv2d(spec), spec.name, padded, 8, 5, 16)
+        np.testing.assert_array_equal(out, reference_conv2d(spec, padded))
+
+    @given(width=st.integers(3, 14), height=st.integers(2, 9), seed=st.integers(0, 50))
+    @settings(max_examples=12, deadline=None)
+    def test_unroll_plus_fixup_covers_any_width(self, width, height, seed):
+        spec = Conv2DSpec("k_prop", taps={(0, -1): 1, (0, 0): 2, (0, 1): 1}, shift=2, bias=2)
+        padded = random_padded(width, height, seed=seed)
+        stride = ((width + 2) + 15) // 16 * 16
+        out, _ = run_planar_kernel(emit_conv2d(spec), spec.name, padded, width, height, stride)
+        np.testing.assert_array_equal(out, reference_conv2d(spec, padded))
+
+
+class TestPointwiseAndTables:
+    def test_invert_unrolled(self):
+        spec = PointwiseSpec("k_inv", "invert", unroll=4)
+        padded = random_padded(13, 6, seed=4)
+        out, _ = run_planar_kernel(emit_pointwise(spec), spec.name, padded, 13, 6, 16)
+        np.testing.assert_array_equal(out, reference_pointwise(spec, padded[1:7, 1:14]))
+
+    def test_solarize_branches(self):
+        spec = PointwiseSpec("k_sol", "solarize", unroll=2)
+        padded = random_padded(10, 5, seed=5)
+        out, _ = run_planar_kernel(emit_pointwise(spec), spec.name, padded, 10, 5, 16)
+        np.testing.assert_array_equal(out, reference_pointwise(spec, padded[1:6, 1:11]))
+
+    def test_boxblur_sliding_window(self):
+        spec = BoxBlurSpec("k_box")
+        padded = random_padded(12, 6, seed=6)
+        out, _ = run_planar_kernel(emit_boxblur(spec), spec.name, padded, 12, 6, 16)
+        np.testing.assert_array_equal(out, reference_boxblur(spec, padded))
+
+    def test_histogram(self):
+        spec = HistogramSpec("k_hist")
+        program = Program([Module.from_assembly("k", emit_histogram(spec))]).load()
+        emu = Emulator(program)
+        rng = np.random.default_rng(7)
+        image = rng.integers(0, 256, size=(6, 9), dtype=np.uint8)
+        stride = 16
+        src = emu.memory.alloc(stride * 6)
+        hist = emu.memory.alloc(256 * 4)
+        for row in range(6):
+            emu.memory.write_bytes(src + row * stride, image[row].tobytes())
+        emu.call_function(spec.name, [src, hist, 9, 6, stride])
+        counts = np.frombuffer(emu.memory.read_bytes(hist, 1024), dtype="<u4")
+        np.testing.assert_array_equal(counts, reference_histogram(spec, image))
+
+    def test_threshold_all_planes(self):
+        spec = ThresholdSpec("k_thr")
+        program = Program([Module.from_assembly("k", emit_threshold(spec))]).load()
+        emu = Emulator(program)
+        rng = np.random.default_rng(8)
+        planes = {c: rng.integers(0, 256, size=(5, 7), dtype=np.uint8) for c in "rgb"}
+        stride = 16
+        addresses = {}
+        for name in ("sr", "sg", "sb", "dr", "dg", "db"):
+            addresses[name] = emu.memory.alloc(stride * 5)
+        for key, channel in zip(("sr", "sg", "sb"), "rgb"):
+            for row in range(5):
+                emu.memory.write_bytes(addresses[key] + row * stride,
+                                       planes[channel][row].tobytes())
+        emu.call_function(spec.name, [addresses["sr"], addresses["sg"], addresses["sb"],
+                                      addresses["dr"], addresses["dg"], addresses["db"],
+                                      7, 5, stride, stride, 128])
+        out = np.zeros((5, 7), dtype=np.uint8)
+        for row in range(5):
+            out[row] = np.frombuffer(emu.memory.read_bytes(addresses["dr"] + row * stride, 7),
+                                     dtype=np.uint8)
+        expected = reference_threshold(spec, planes["r"], planes["g"], planes["b"], 128)
+        np.testing.assert_array_equal(out, expected)
+
+
+class TestFloatConv:
+    def test_x87_average_matches_reference(self):
+        weights = {(dy, dx): 1.0 / 9.0 for dy in (-1, 0, 1) for dx in (-1, 0, 1)}
+        spec = FloatConvSpec("k_favg", weights=weights)
+        program = Program([Module.from_assembly("k", emit_float_conv(spec))]).load()
+        emu = Emulator(program)
+        rng = np.random.default_rng(9)
+        width, height, channels = 6, 4, 3
+        padded = rng.integers(0, 256, size=(height + 2, (width + 2) * channels), dtype=np.uint8)
+        stride = 32
+        src = emu.memory.alloc(stride * (height + 2))
+        dst = emu.memory.alloc(stride * (height + 2))
+        for row in range(height + 2):
+            emu.memory.write_bytes(src + row * stride, padded[row].tobytes())
+        table = spec.weight_table()
+        weights_addr = emu.memory.alloc(table.nbytes)
+        emu.memory.write_bytes(weights_addr, table.tobytes())
+        emu.call_function(spec.name, [src + stride + channels, dst + stride + channels,
+                                      width * channels, height, stride, stride, weights_addr])
+        out = np.zeros((height, width * channels), dtype=np.uint8)
+        for row in range(height):
+            out[row] = np.frombuffer(
+                emu.memory.read_bytes(dst + (row + 1) * stride + channels, width * channels),
+                dtype=np.uint8)
+        np.testing.assert_array_equal(out, reference_float_conv(spec, padded))

@@ -1,0 +1,171 @@
+"""Smoke tests for the x86 assembler and emulator."""
+
+from repro.x86 import Emulator, Memory, Module, Program
+
+
+def make_program(text: str) -> Program:
+    return Program([Module.from_assembly("m", text)]).load()
+
+
+def run_function(text: str, entry: str, args=()):
+    program = make_program(text)
+    emu = Emulator(program)
+    result = emu.call_function(entry, args)
+    return result, emu
+
+
+class TestBasicArithmetic:
+    def test_mov_add_ret(self):
+        result, _ = run_function(
+            """
+            f:
+              mov eax, 2
+              add eax, 40
+              ret
+            """,
+            "f",
+        )
+        assert result == 42
+
+    def test_arguments_on_stack(self):
+        result, _ = run_function(
+            """
+            f:
+              push ebp
+              mov ebp, esp
+              mov eax, dword ptr [ebp+0x8]
+              add eax, dword ptr [ebp+0xc]
+              pop ebp
+              ret
+            """,
+            "f",
+            args=[10, 32],
+        )
+        assert result == 42
+
+    def test_loop_sums_memory(self):
+        program = make_program(
+            """
+            sum:
+              push ebp
+              mov ebp, esp
+              mov ecx, dword ptr [ebp+0x8]
+              mov edx, dword ptr [ebp+0xc]
+              xor eax, eax
+            loop_top:
+              test edx, edx
+              jz done
+              movzx ebx, byte ptr [ecx]
+              add eax, ebx
+              inc ecx
+              dec edx
+              jmp loop_top
+            done:
+              pop ebp
+              ret
+            """
+        )
+        emu = Emulator(program)
+        buf = emu.memory.alloc(16)
+        emu.memory.write_bytes(buf, bytes(range(1, 11)))
+        result = emu.call_function("sum", [buf, 10])
+        assert result == sum(range(1, 11))
+
+    def test_partial_registers(self):
+        result, _ = run_function(
+            """
+            f:
+              mov eax, 0x11223344
+              mov ah, 0x55
+              movzx eax, ax
+              ret
+            """,
+            "f",
+        )
+        assert result == 0x5544
+
+    def test_shifts_and_flags(self):
+        result, _ = run_function(
+            """
+            f:
+              mov eax, 0x100
+              shr eax, 4
+              mov ecx, 3
+              shl eax, 1
+              ret
+            """,
+            "f",
+        )
+        assert result == 0x20
+
+    def test_conditional_branch(self):
+        text = """
+        max2:
+          push ebp
+          mov ebp, esp
+          mov eax, dword ptr [ebp+0x8]
+          mov ecx, dword ptr [ebp+0xc]
+          cmp eax, ecx
+          jge keep
+          mov eax, ecx
+        keep:
+          pop ebp
+          ret
+        """
+        assert run_function(text, "max2", [3, 9])[0] == 9
+        assert run_function(text, "max2", [9, 3])[0] == 9
+
+    def test_x87_basic(self):
+        program = make_program(
+            """
+            favg:
+              push ebp
+              mov ebp, esp
+              fild dword ptr [ebp+0x8]
+              fild dword ptr [ebp+0xc]
+              faddp st1, st
+              fistp dword ptr [ebp+0x8]
+              mov eax, dword ptr [ebp+0x8]
+              pop ebp
+              ret
+            """
+        )
+        emu = Emulator(program)
+        assert emu.call_function("favg", [20, 22]) == 42
+
+    def test_call_between_functions(self):
+        result, _ = run_function(
+            """
+            helper:
+              mov eax, 21
+              ret
+            f:
+              call helper
+              add eax, eax
+              ret
+            """,
+            "f",
+        )
+        assert result == 42
+
+    def test_imul_and_lea(self):
+        result, _ = run_function(
+            """
+            f:
+              mov eax, 5
+              mov ecx, 7
+              imul eax, ecx
+              lea eax, [eax+eax*2+7]
+              ret
+            """,
+            "f",
+        )
+        assert result == 5 * 7 * 3 + 7
+
+    def test_memory_float_roundtrip(self):
+        mem = Memory()
+        addr = mem.alloc(64)
+        mem.write_float(addr, 8, 3.25)
+        assert mem.read_float(addr, 8) == 3.25
+        mem.write_uint(addr + 8, 4, 0xDEADBEEF)
+        assert mem.read_uint(addr + 8, 4) == 0xDEADBEEF

@@ -1,0 +1,153 @@
+"""Focused tests of x86 semantics corner cases the kernels rely on."""
+
+import pytest
+
+from repro.x86 import Emulator, Module, Program
+from repro.x86.assembler import AssemblerError, assemble, parse_memory_operand
+from repro.x86.instructions import Mem
+
+
+def run(text, entry, args=()):
+    program = Program([Module.from_assembly("m", text)]).load()
+    emu = Emulator(program)
+    return emu.call_function(entry, args), emu
+
+
+class TestAssemblerParsing:
+    def test_memory_operand_full_form(self):
+        mem = parse_memory_operand("byte ptr [eax+esi*2-0x10]")
+        assert mem == Mem(base="eax", index="esi", scale=2, disp=-16, size=1)
+
+    def test_memory_operand_default_size(self):
+        assert parse_memory_operand("[ebp+8]").size == 4
+
+    def test_bad_operand_raises(self):
+        with pytest.raises(AssemblerError):
+            parse_memory_operand("[eax+notareg]")
+
+    def test_labels_attach_to_next_instruction(self):
+        instructions = assemble("""
+        top:
+          mov eax, 1
+        bottom: ret
+        """)
+        assert instructions[0].labels == ("top",)
+        assert instructions[1].labels == ("bottom",)
+
+    def test_comments_are_stripped(self):
+        instructions = assemble("mov eax, 1 ; set accumulator\n")
+        assert len(instructions) == 1
+
+
+class TestFlagSemantics:
+    def test_unsigned_vs_signed_comparison(self):
+        text = """
+        f:
+          push ebp
+          mov ebp, esp
+          mov eax, dword ptr [ebp+0x8]
+          cmp eax, dword ptr [ebp+0xc]
+          {jcc} take
+          mov eax, 0
+          jmp done
+        take:
+          mov eax, 1
+        done:
+          pop ebp
+          ret
+        """
+        # 0xFFFFFFF0 as unsigned is huge, as signed is negative.
+        assert run(text.format(jcc="ja"), "f", [0xFFFFFFF0, 5])[0] == 1
+        assert run(text.format(jcc="jg"), "f", [0xFFFFFFF0, 5])[0] == 0
+
+    def test_sar_vs_shr_on_negative(self):
+        result, _ = run("""
+        f:
+          mov eax, -16
+          sar eax, 2
+          ret
+        """, "f")
+        assert result == 0xFFFFFFFC
+        result, _ = run("""
+        f:
+          mov eax, -16
+          shr eax, 2
+          ret
+        """, "f")
+        assert result == 0x3FFFFFFC
+
+    def test_imul_three_operand(self):
+        result, _ = run("""
+        f:
+          mov ecx, 7
+          imul eax, ecx, 0x1c72
+          shr eax, 4
+          ret
+        """, "f")
+        assert result == (7 * 0x1C72) >> 4
+
+    def test_dec_preserves_carry(self):
+        result, _ = run("""
+        f:
+          mov eax, 1
+          mov ecx, 2
+          cmp eax, ecx
+          dec ecx
+          jb below
+          mov eax, 0
+          ret
+        below:
+          mov eax, 1
+          ret
+        """, "f")
+        assert result == 1  # carry from cmp survives the dec
+
+
+class TestFloatingPoint:
+    def test_x87_round_half_to_even(self):
+        text = """
+        f:
+          push ebp
+          mov ebp, esp
+          sub esp, 8
+          fild dword ptr [ebp+0x8]
+          fild dword ptr [ebp+0xc]
+          fdivp st1, st
+          fistp dword ptr [ebp-0x4]
+          mov eax, dword ptr [ebp-0x4]
+          mov esp, ebp
+          pop ebp
+          ret
+        """
+        assert run(text, "f", [5, 2])[0] == 2   # 2.5 rounds to even 2
+        assert run(text, "f", [7, 2])[0] == 4   # 3.5 rounds to even 4
+
+    def test_sse_scalar_double_chain(self):
+        program = Program([Module.from_assembly("m", """
+        f:
+          push ebp
+          mov ebp, esp
+          mov eax, dword ptr [ebp+0x8]
+          movsd xmm0, qword ptr [eax]
+          addsd xmm0, qword ptr [eax+8]
+          mulsd xmm0, qword ptr [eax+16]
+          movsd qword ptr [eax+24], xmm0
+          pop ebp
+          ret
+        """)]).load()
+        emu = Emulator(program)
+        base = emu.memory.alloc(64)
+        emu.memory.write_float(base, 8, 1.5)
+        emu.memory.write_float(base + 8, 8, 2.25)
+        emu.memory.write_float(base + 16, 8, 4.0)
+        emu.call_function("f", [base])
+        assert emu.memory.read_float(base + 24, 8) == (1.5 + 2.25) * 4.0
+
+    def test_partial_register_write_preserves_rest(self):
+        result, _ = run("""
+        f:
+          mov eax, 0xAABBCCDD
+          mov al, 0x11
+          ret
+        """, "f")
+        assert result == 0xAABBCC11
