@@ -9,7 +9,10 @@ EXPERIMENTS.md records a captured run.
 
 from __future__ import annotations
 
+import json
+import platform
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -19,6 +22,47 @@ from repro.apps.images import make_test_planes
 #: Benchmark image size (width, height).
 BENCH_WIDTH = 480
 BENCH_HEIGHT = 320
+
+#: Collected measurements, written to BENCH_results.json at session end so
+#: the perf trajectory is machine-readable across PRs.
+BENCH_RESULTS: dict[str, dict] = {}
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_results.json"
+
+
+def record_bench(name: str, seconds: float, engine: str = "",
+                 image_size: tuple[int, int] | None = None, **extra) -> None:
+    """Record one benchmark's best wall-clock time for BENCH_results.json."""
+    entry = {
+        "best_seconds": round(seconds, 6),
+        "engine": engine,
+        "image_size": list(image_size if image_size is not None
+                           else (BENCH_WIDTH, BENCH_HEIGHT)),
+    }
+    entry.update(extra)
+    BENCH_RESULTS[name] = entry
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not BENCH_RESULTS:
+        return
+    # Merge into any existing results so a partial benchmark run (a smoke
+    # subset, -k selection) refreshes only what it measured instead of
+    # clobbering the rest of the tracked trajectory.
+    results: dict[str, dict] = {}
+    if RESULTS_PATH.exists():
+        try:
+            results = json.loads(RESULTS_PATH.read_text()).get("results", {})
+        except (json.JSONDecodeError, OSError):
+            results = {}
+    results.update(BENCH_RESULTS)
+    payload = {
+        "image_size": [BENCH_WIDTH, BENCH_HEIGHT],
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": dict(sorted(results.items())),
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 @pytest.fixture(scope="session")

@@ -15,7 +15,7 @@ from repro.rejuvenation import (
     lift_irfanview_filter,
 )
 
-from conftest import print_table, time_callable
+from conftest import print_table, record_bench, time_callable
 
 PAPER_SPEEDUPS = {"invert": 2.03, "solarize": 2.16, "blur": 8.70, "sharpen": 6.98}
 FILTERS = list(PAPER_SPEEDUPS)
@@ -30,6 +30,8 @@ def fig7_iv_rows(bench_interleaved):
         lifted_time = time_callable(lambda: apply_lifted_irfanview(lifted, name,
                                                                    bench_interleaved))
         speedup = legacy_time / lifted_time if lifted_time else float("inf")
+        record_bench(f"fig7_irfanview/{name}/legacy", legacy_time, engine="legacy")
+        record_bench(f"fig7_irfanview/{name}/lifted", lifted_time, engine="default")
         rows.append([name, f"{legacy_time * 1000:.1f}", f"{lifted_time * 1000:.1f}",
                      f"{speedup:.2f}x", f"{PAPER_SPEEDUPS[name]:.2f}x"])
     return rows
@@ -40,13 +42,15 @@ def test_fig7_irfanview_table(fig7_iv_rows):
                 ["filter", "legacy ms", "lifted ms", "speedup", "paper speedup"],
                 fig7_iv_rows)
     speedups = {row[0]: float(row[3].rstrip("x")) for row in fig7_iv_rows}
-    # Shape: the floating-point stencil filters (the paper's 8.7x/7.0x rows)
-    # improve, and they improve more than the pointwise filters.  The absolute
-    # ratios are compressed by the single-threaded NumPy backend standing in
-    # for Halide's vectorized/parallel code generation (see EXPERIMENTS.md).
-    assert speedups["blur"] > 1.0 and speedups["sharpen"] > 1.0, speedups
-    assert max(speedups["blur"], speedups["sharpen"]) > \
-        max(speedups["invert"], speedups["solarize"]), speedups
+    # Every lifted filter beats the legacy implementation, and the
+    # floating-point stencils (the paper's 8.7x/7.0x rows) win clearly.
+    # Unlike the paper, the pointwise integer filters now gain *more* than
+    # the stencils: the compiled realization engine narrows their arithmetic
+    # to small integer dtypes and elides cast wraps, while the float stencils
+    # stay bound by double-precision multiplies in both the legacy and
+    # lifted paths (see EXPERIMENTS.md).
+    assert all(value > 1.0 for value in speedups.values()), speedups
+    assert speedups["blur"] > 2.0 and speedups["sharpen"] > 2.0, speedups
 
 
 def test_fig7_irfanview_blur_benchmark(benchmark, bench_interleaved):

@@ -19,7 +19,7 @@ from repro.rejuvenation import (
     lift_photoshop_filter,
 )
 
-from conftest import print_table, time_callable
+from conftest import print_table, record_bench, time_callable
 
 PAPER_SPEEDUPS = {
     "invert": 1.74, "blur": 2.62, "blur_more": 1.12, "sharpen": 2.46,
@@ -38,6 +38,8 @@ def fig7_rows(bench_planes):
         lifted_time = time_callable(lambda: apply_lifted_photoshop(lifted, name,
                                                                    bench_planes, PARAMS))
         speedup = legacy_time / lifted_time if lifted_time else float("inf")
+        record_bench(f"fig7_photoshop/{name}/legacy", legacy_time, engine="legacy")
+        record_bench(f"fig7_photoshop/{name}/lifted", lifted_time, engine="default")
         rows.append([name, f"{legacy_time * 1000:.1f}", f"{lifted_time * 1000:.1f}",
                      f"{speedup:.2f}x", f"{PAPER_SPEEDUPS[name]:.2f}x"])
     return rows

@@ -18,6 +18,7 @@ at each output store is exactly the backward slice the paper describes, with:
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -76,13 +77,28 @@ class BufferEntry:
 
 @dataclass
 class BufferMap:
-    """Lookup from absolute addresses to named buffers."""
+    """Lookup from absolute addresses to named buffers.
+
+    ``lookup`` runs once per traced memory access, so the linear scan over
+    entries is replaced by a bisect over the (disjoint) region intervals
+    sorted by start address; the index is rebuilt lazily whenever entries are
+    added.
+    """
 
     entries: list[BufferEntry] = field(default_factory=list)
+    _index: list[tuple[int, int, BufferEntry]] = field(default_factory=list, repr=False)
+    _indexed_count: int = field(default=-1, repr=False)
 
     def lookup(self, address: int) -> Optional[BufferEntry]:
-        for entry in self.entries:
-            if entry.region.contains(address):
+        if self._indexed_count != len(self.entries):
+            self._index = sorted(
+                ((e.region.start, e.region.end, e) for e in self.entries),
+                key=lambda item: item[0])
+            self._indexed_count = len(self.entries)
+        position = bisect_right(self._index, address, key=lambda item: item[0]) - 1
+        if position >= 0:
+            start, end, entry = self._index[position]
+            if start <= address < end:
                 return entry
         return None
 

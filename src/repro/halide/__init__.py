@@ -2,15 +2,26 @@
 
 The real Halide is not available offline, so this package provides the pieces
 the lifted code needs — ``Var``, ``Func``, ``ImageParam``, ``RDom``, ``cast``
-and ``select`` — together with a NumPy *realizer* that evaluates a function
-over its output domain, a small scheduling model (tiling / vectorize-by-numpy)
-and a random-search autotuner standing in for OpenTuner.
+and ``select`` — together with two NumPy *realization engines*: a tree-walking
+interpreter (the oracle) and a compiled backend that lowers each function to a
+fused, CSE'd kernel, compiles it once and caches it.  A small scheduling model
+(tiling / vectorize-by-numpy), Func-level pipeline fusion and a random-search
+autotuner standing in for OpenTuner round out the front end.
 """
 
 from .func import Func, ImageParam, RDom, Schedule, Var
-from .realize import realize
+from .realize import ENGINES, realize, realize_interp, set_default_engine
+from .compile import (
+    CompiledKernel,
+    clear_kernel_cache,
+    compile_func,
+    kernel_cache_stats,
+)
 from .autotune import autotune
-from .pipeline import FusedPipeline
+from .pipeline import FuncPipeline, FuncStage, FusedPipeline, inline_producer
 
 __all__ = ["Func", "ImageParam", "RDom", "Schedule", "Var", "realize",
-           "autotune", "FusedPipeline"]
+           "realize_interp", "set_default_engine", "ENGINES",
+           "CompiledKernel", "compile_func", "kernel_cache_stats",
+           "clear_kernel_cache", "autotune", "FusedPipeline",
+           "FuncPipeline", "FuncStage", "inline_producer"]

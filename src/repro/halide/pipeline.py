@@ -4,14 +4,25 @@ Lifting to the algorithm level lets Helium compose kernels: a fused pipeline
 inlines each producer into its consumer (improving locality, paper section
 6.4), while the unfused variant materializes every intermediate image the way
 the original applications do.
+
+Two granularities are provided.  :class:`FusedPipeline` chains opaque
+image-to-image callables and fuses by tiling.  :class:`FuncPipeline` chains
+lifted :class:`~repro.halide.func.Func` stages symbolically: pointwise
+producers are inlined into their consumers at the IR level (Halide's
+``compute_inline``), so the fused stage compiles to one kernel that never
+materializes the intermediate image at all.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
+
+from ..ir import BufferAccess, Cast, Expr, canonicalize, substitute
+from .func import Func
+from .realize import realize
 
 
 @dataclass
@@ -53,3 +64,136 @@ class FusedPipeline:
             result = self.run_unfused(tile)
             outputs.append(result[start - lo: start - lo + (stop - start)])
         return np.concatenate(outputs, axis=0)
+
+
+# ---------------------------------------------------------------------------
+# Func-level pipelines with IR inlining
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FuncStage:
+    """One lifted Func in a pipeline.
+
+    ``input_name`` is the buffer name the stage's expression uses for the
+    incoming image; ``pad`` is edge padding (per side, every axis unless
+    ``pad_width`` overrides it) applied before realizing, the way the app
+    wrappers pad stencil inputs.
+    """
+
+    name: str
+    func: Func
+    input_name: str = "input_1"
+    pad: int = 0
+    pad_width: tuple | None = None
+
+    def consumes_pointwise(self) -> bool:
+        """True when every access to the stage input reads the output point.
+
+        This is the case where inlining the producer is always profitable:
+        the consumed region is a single point, so substitution duplicates no
+        producer work (inlining into a stencil consumer would recompute the
+        producer once per tap).
+        """
+        if self.func.value is None or self.func.reduction is not None:
+            return False
+        if self.pad != 0 or self.pad_width is not None:
+            return False
+        variables = self.func.variables
+        for node in self.func.value.walk():
+            if not isinstance(node, BufferAccess) or node.buffer != self.input_name:
+                continue
+            if len(node.indices) != len(variables):
+                return False
+            for position, index in enumerate(node.indices):
+                if index != variables[position]:
+                    return False
+        return True
+
+
+def inline_producer(consumer: Func, consumer_input: str, producer: Func) -> Func:
+    """Inline ``producer``'s expression into ``consumer`` (compute_inline).
+
+    Every ``consumer_input(idx...)`` access becomes the producer's value with
+    its variables substituted by ``idx...`` and re-quantized through the
+    producer's output dtype — exactly the values the materialized
+    intermediate would have held, so fusion is bit-exact.
+    """
+    if producer.value is None or producer.reduction is not None:
+        raise ValueError(f"cannot inline non-pure producer {producer.name}")
+
+    def rewrite(node: Expr) -> Expr:
+        if not isinstance(node, BufferAccess) or node.buffer != consumer_input:
+            return node
+        if len(node.indices) != len(producer.variables):
+            raise ValueError(
+                f"cannot inline {producer.name}: access {node} has "
+                f"{len(node.indices)} indices but the producer has "
+                f"{len(producer.variables)} variables")
+        mapping = {var: index for var, index in zip(producer.variables, node.indices)}
+        inlined: Expr = Cast(producer.dtype, substitute(producer.value, mapping))
+        if node.dtype != producer.dtype:
+            inlined = Cast(node.dtype, inlined)
+        return inlined
+
+    fused_value = canonicalize(consumer.value.transform(rewrite))
+    return Func(name=f"{producer.name}__{consumer.name}",
+                variables=list(consumer.variables), value=fused_value,
+                dtype=consumer.dtype, inputs=list(producer.inputs),
+                schedule=replace(consumer.schedule))
+
+
+class FuncPipeline:
+    """A pipeline of lifted Funcs realized stage by stage, with IR fusion."""
+
+    def __init__(self, stages: Sequence[FuncStage] | None = None) -> None:
+        self.stages: list[FuncStage] = list(stages or [])
+
+    def add(self, func: Func, input_name: str = "input_1", pad: int = 0,
+            pad_width: tuple | None = None, name: str | None = None) -> "FuncPipeline":
+        self.stages.append(FuncStage(name=name or func.name, func=func,
+                                     input_name=input_name, pad=pad,
+                                     pad_width=pad_width))
+        return self
+
+    def fused(self) -> "FuncPipeline":
+        """Inline producers into pointwise consumers (when regions allow).
+
+        A stage that consumes its input pointwise reads exactly one producer
+        point per output point, so substituting the producer's expression
+        duplicates no work and the intermediate image is never materialized.
+        Stencil consumers keep their producer materialized (inlining there
+        would recompute the producer once per tap).
+        """
+        fused: list[FuncStage] = []
+        for stage in self.stages:
+            if fused and stage.consumes_pointwise() \
+                    and stage.func.schedule.fuse_producers \
+                    and fused[-1].func.value is not None \
+                    and fused[-1].func.reduction is None:
+                producer = fused[-1]
+                merged = inline_producer(stage.func, stage.input_name, producer.func)
+                fused[-1] = FuncStage(name=f"{producer.name}+{stage.name}",
+                                      func=merged, input_name=producer.input_name,
+                                      pad=producer.pad, pad_width=producer.pad_width)
+                continue
+            fused.append(FuncStage(name=stage.name, func=stage.func,
+                                   input_name=stage.input_name, pad=stage.pad,
+                                   pad_width=stage.pad_width))
+        return FuncPipeline(fused)
+
+    def realize(self, image: np.ndarray, params: Mapping[str, float] | None = None,
+                engine: str | None = None) -> np.ndarray:
+        """Run the pipeline on one image (NumPy outermost-first layout)."""
+        current = image
+        for stage in self.stages:
+            if stage.pad_width is not None:
+                padded = np.pad(current, stage.pad_width, mode="edge")
+            elif stage.pad:
+                padded = np.pad(current, stage.pad, mode="edge")
+            else:
+                padded = current
+            shape = tuple(reversed(current.shape))
+            current = realize(stage.func, shape, {stage.input_name: padded},
+                              params, engine=engine)
+        return current

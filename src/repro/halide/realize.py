@@ -9,6 +9,7 @@ produce; floating point follows IEEE double like the x87/SSE originals.
 
 from __future__ import annotations
 
+import os
 from typing import Mapping
 
 import numpy as np
@@ -153,6 +154,23 @@ def _as_int(value):
     return array if array.dtype == np.int64 else array.astype(np.int64, copy=False)
 
 
+def _trunc_divide(a, b):
+    """Integer division truncating toward zero, matching x86 ``idiv``.
+
+    Python's ``//`` floors, which differs for exactly one negative operand
+    (``-7 // 2 == -4`` but ``idiv`` gives ``-3``); lifted kernels must realize
+    the division the traced binary performed.
+    """
+    quotient = np.floor_divide(a, b)
+    remainder = a - quotient * b
+    return quotient + ((remainder != 0) & ((a < 0) != (b < 0)))
+
+
+def _trunc_remainder(a, b):
+    """Integer remainder with the dividend's sign, matching x86 ``idiv``."""
+    return a - _trunc_divide(a, b) * b
+
+
 def _apply_binop(op: str, a, b, is_float: bool):
     if op == Op.ADD:
         return a + b
@@ -161,9 +179,9 @@ def _apply_binop(op: str, a, b, is_float: bool):
     if op == Op.MUL:
         return a * b
     if op == Op.DIV:
-        return a / b if is_float else _as_int(a) // _as_int(b)
+        return a / b if is_float else _trunc_divide(_as_int(a), _as_int(b))
     if op == Op.MOD:
-        return _as_int(a) % _as_int(b)
+        return _trunc_remainder(_as_int(a), _as_int(b))
     if op in (Op.SHR, Op.SAR):
         return _as_int(a) >> _as_int(b)
     if op == Op.SHL:
@@ -193,14 +211,49 @@ def _apply_binop(op: str, a, b, is_float: bool):
     raise RealizationError(f"unknown operator {op}")
 
 
+#: Engines: "interp" walks the expression tree with NumPy ops (the oracle);
+#: "compiled" lowers the Func to a fused, CSE'd kernel once and caches it.
+ENGINES = ("interp", "compiled")
+
+DEFAULT_ENGINE = os.environ.get("REPRO_REALIZE_ENGINE", "compiled")
+
+
+def set_default_engine(engine: str) -> str:
+    """Set the process-wide default engine; returns the previous one."""
+    global DEFAULT_ENGINE
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    previous = DEFAULT_ENGINE
+    DEFAULT_ENGINE = engine
+    return previous
+
+
 def realize(func: Func, shape: tuple[int, ...], buffers: Mapping[str, np.ndarray],
-            params: Mapping[str, float] | None = None) -> np.ndarray:
+            params: Mapping[str, float] | None = None,
+            engine: str | None = None) -> np.ndarray:
     """Realize a function over an output domain.
 
     ``shape`` gives the extent of each pure variable (innermost first, matching
     the order of ``func.variables``); ``buffers`` binds input buffer names to
-    NumPy arrays indexed outermost-first.
+    NumPy arrays indexed outermost-first.  ``engine`` selects the interpreter
+    ("interp") or the cached compiled-kernel backend ("compiled", the
+    default); both are bit-identical.
     """
+    if func.value is None and func.reduction is None:
+        raise RealizationError(f"function {func.name} has no definition")
+    choice = engine if engine is not None else DEFAULT_ENGINE
+    if choice == "compiled":
+        from .compile import compile_func
+
+        return compile_func(func)(shape, buffers, params or {})
+    if choice != "interp":
+        raise ValueError(f"unknown engine {choice!r}; expected one of {ENGINES}")
+    return realize_interp(func, shape, buffers, params)
+
+
+def realize_interp(func: Func, shape: tuple[int, ...], buffers: Mapping[str, np.ndarray],
+                   params: Mapping[str, float] | None = None) -> np.ndarray:
+    """The tree-walking NumPy realizer (the compiled engine's oracle)."""
     params = params or {}
     if func.value is None and func.reduction is None:
         raise RealizationError(f"function {func.name} has no definition")

@@ -19,7 +19,8 @@ from .expr import (
     structural_signature,
     substitute,
 )
-from .simplify import canonicalize, evaluate, simplify
+from .simplify import canonicalize, canonicalize_stats, clear_canonicalize_cache, evaluate, simplify
+from .structhash import Numbering, number_subtrees, shared_subtrees, structural_hash, unique_subtrees
 from .types import (
     DType,
     FLOAT32,
@@ -41,7 +42,10 @@ from .types import (
 __all__ = [
     "BinOp", "BufferAccess", "Call", "Cast", "Const", "Expr", "MemLoad", "Op",
     "Param", "Select", "UnOp", "Var", "collect", "const", "iter_buffer_accesses",
-    "structural_signature", "substitute", "canonicalize", "evaluate", "simplify",
+    "structural_signature", "substitute", "canonicalize", "canonicalize_stats",
+    "clear_canonicalize_cache", "evaluate", "simplify",
+    "Numbering", "number_subtrees", "shared_subtrees", "structural_hash",
+    "unique_subtrees",
     "DType", "TypeKind", "dtype_from_name", "signed_of_width", "unsigned_of_width",
     "UINT8", "UINT16", "UINT32", "UINT64", "INT8", "INT16", "INT32", "INT64",
     "FLOAT32", "FLOAT64",

@@ -55,7 +55,7 @@ class Expr:
     is what the rewriting passes use.
     """
 
-    __slots__ = ("_hash",)
+    __slots__ = ("_hash", "_key")
 
     dtype: DType
 
@@ -74,13 +74,27 @@ class Expr:
         """A structural identity key (used for __eq__ / __hash__)."""
         raise NotImplementedError
 
+    def cached_key(self) -> tuple:
+        """``key()`` computed once per node.
+
+        Structural keys are rebuilt recursively on every ``key()`` call, which
+        makes repeated equality checks (clustering, CSE value numbering, the
+        kernel cache) quadratic; caching the tuple on the immutable node keeps
+        them linear.
+        """
+        cached = getattr(self, "_key", None)
+        if cached is None:
+            cached = self.key()
+            object.__setattr__(self, "_key", cached)
+        return cached
+
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Expr) and self.key() == other.key()
+        return isinstance(other, Expr) and self.cached_key() == other.cached_key()
 
     def __hash__(self) -> int:
         cached = getattr(self, "_hash", None)
         if cached is None:
-            cached = hash(self.key())
+            cached = hash(self.cached_key())
             object.__setattr__(self, "_hash", cached)
         return cached
 
@@ -128,7 +142,7 @@ class Expr:
 class Const(Expr):
     """A literal constant."""
 
-    __slots__ = ("value", "dtype", "_hash")
+    __slots__ = ("value", "dtype", "_hash", "_key")
 
     def __init__(self, value: int | float, dtype: DType = INT32):
         object.__setattr__(self, "value", dtype.wrap(value))
@@ -150,7 +164,7 @@ class Param(Expr):
     the trace is retained so generated code can be validated.
     """
 
-    __slots__ = ("name", "value", "dtype", "_hash")
+    __slots__ = ("name", "value", "dtype", "_hash", "_key")
 
     def __init__(self, name: str, value: int | float = 0, dtype: DType = INT32):
         object.__setattr__(self, "name", name)
@@ -167,7 +181,7 @@ class Param(Expr):
 class Var(Expr):
     """A symbolic loop variable (``x_0``, ``x_1``, ...) of a symbolic tree."""
 
-    __slots__ = ("name", "dtype", "_hash")
+    __slots__ = ("name", "dtype", "_hash", "_key")
 
     def __init__(self, name: str, dtype: DType = INT32):
         object.__setattr__(self, "name", name)
@@ -183,7 +197,7 @@ class Var(Expr):
 class MemLoad(Expr):
     """A concrete-tree leaf: a load from an absolute memory address."""
 
-    __slots__ = ("address", "dtype", "_hash")
+    __slots__ = ("address", "dtype", "_hash", "_key")
 
     def __init__(self, address: int, dtype: DType = UINT8):
         object.__setattr__(self, "address", address)
@@ -205,7 +219,7 @@ class BufferAccess(Expr):
     indirect accesses such as lookup tables.
     """
 
-    __slots__ = ("buffer", "indices", "dtype", "_hash")
+    __slots__ = ("buffer", "indices", "dtype", "_hash", "_key")
 
     def __init__(self, buffer: str, indices: Sequence[Expr], dtype: DType = UINT8):
         object.__setattr__(self, "buffer", buffer)
@@ -220,7 +234,7 @@ class BufferAccess(Expr):
         return BufferAccess(self.buffer, tuple(children), self.dtype)
 
     def key(self) -> tuple:
-        return ("bufaccess", self.buffer, tuple(c.key() for c in self.indices), self.dtype)
+        return ("bufaccess", self.buffer, tuple(c.cached_key() for c in self.indices), self.dtype)
 
     def __str__(self) -> str:
         idx = ", ".join(str(i) for i in self.indices)
@@ -235,7 +249,7 @@ class BufferAccess(Expr):
 class BinOp(Expr):
     """A binary arithmetic / logical / comparison operation."""
 
-    __slots__ = ("op", "a", "b", "dtype", "_hash")
+    __slots__ = ("op", "a", "b", "dtype", "_hash", "_key")
 
     def __init__(self, op: str, a: Expr, b: Expr, dtype: DType | None = None):
         object.__setattr__(self, "op", op)
@@ -252,7 +266,7 @@ class BinOp(Expr):
         return BinOp(self.op, a, b, self.dtype)
 
     def key(self) -> tuple:
-        return ("binop", self.op, self.a.key(), self.b.key(), self.dtype)
+        return ("binop", self.op, self.a.cached_key(), self.b.cached_key(), self.dtype)
 
     def __str__(self) -> str:
         if self.op in (Op.MIN, Op.MAX):
@@ -263,7 +277,7 @@ class BinOp(Expr):
 class UnOp(Expr):
     """A unary operation (negation, bitwise not, abs)."""
 
-    __slots__ = ("op", "a", "dtype", "_hash")
+    __slots__ = ("op", "a", "dtype", "_hash", "_key")
 
     def __init__(self, op: str, a: Expr, dtype: DType | None = None):
         object.__setattr__(self, "op", op)
@@ -279,7 +293,7 @@ class UnOp(Expr):
         return UnOp(self.op, a, self.dtype)
 
     def key(self) -> tuple:
-        return ("unop", self.op, self.a.key(), self.dtype)
+        return ("unop", self.op, self.a.cached_key(), self.dtype)
 
     def __str__(self) -> str:
         return f"{self.op}({self.a})"
@@ -288,7 +302,7 @@ class UnOp(Expr):
 class Cast(Expr):
     """An explicit conversion, including the paper's downcast ("DC") nodes."""
 
-    __slots__ = ("a", "dtype", "_hash")
+    __slots__ = ("a", "dtype", "_hash", "_key")
 
     def __init__(self, dtype: DType, a: Expr):
         object.__setattr__(self, "a", a)
@@ -303,7 +317,7 @@ class Cast(Expr):
         return Cast(self.dtype, a)
 
     def key(self) -> tuple:
-        return ("cast", self.dtype, self.a.key())
+        return ("cast", self.dtype, self.a.cached_key())
 
     def __str__(self) -> str:
         return f"cast<{self.dtype}>({self.a})"
@@ -312,7 +326,7 @@ class Cast(Expr):
 class Select(Expr):
     """A conditional expression: ``cond ? if_true : if_false``."""
 
-    __slots__ = ("cond", "if_true", "if_false", "dtype", "_hash")
+    __slots__ = ("cond", "if_true", "if_false", "dtype", "_hash", "_key")
 
     def __init__(self, cond: Expr, if_true: Expr, if_false: Expr):
         object.__setattr__(self, "cond", cond)
@@ -329,7 +343,7 @@ class Select(Expr):
         return Select(cond, if_true, if_false)
 
     def key(self) -> tuple:
-        return ("select", self.cond.key(), self.if_true.key(), self.if_false.key())
+        return ("select", self.cond.cached_key(), self.if_true.cached_key(), self.if_false.cached_key())
 
     def __str__(self) -> str:
         return f"select({self.cond}, {self.if_true}, {self.if_false})"
@@ -338,7 +352,7 @@ class Select(Expr):
 class Call(Expr):
     """A call to a known external library function (``sqrt``, ``floor``...)."""
 
-    __slots__ = ("func", "args", "dtype", "_hash")
+    __slots__ = ("func", "args", "dtype", "_hash", "_key")
 
     def __init__(self, func: str, args: Sequence[Expr], dtype: DType):
         object.__setattr__(self, "func", func)
@@ -353,7 +367,7 @@ class Call(Expr):
         return Call(self.func, tuple(children), self.dtype)
 
     def key(self) -> tuple:
-        return ("call", self.func, tuple(a.key() for a in self.args), self.dtype)
+        return ("call", self.func, tuple(a.cached_key() for a in self.args), self.dtype)
 
     def __str__(self) -> str:
         return f"{self.func}({', '.join(str(a) for a in self.args)})"

@@ -35,6 +35,17 @@ def _order_key(expr: Expr) -> tuple:
     return (5, str(expr.key()))
 
 
+def _trunc_div(a: int, b: int) -> int:
+    """Integer division truncating toward zero (x86 ``idiv`` semantics)."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _trunc_mod(a: int, b: int) -> int:
+    """Integer remainder with the dividend's sign (x86 ``idiv`` semantics)."""
+    return a - _trunc_div(a, b) * b
+
+
 def _fold_binop(op: str, a: Const, b: Const, dtype: DType) -> Const:
     av, bv = a.value, b.value
     if op == Op.ADD:
@@ -44,12 +55,17 @@ def _fold_binop(op: str, a: Const, b: Const, dtype: DType) -> Const:
     elif op == Op.MUL:
         value = av * bv
     elif op == Op.DIV:
-        value = av / bv if dtype.is_float else int(av) // int(bv)
+        # x86 idiv truncates toward zero; Python's // floors.  Negative
+        # operands must fold the way the traced binary divided.
+        value = av / bv if dtype.is_float else _trunc_div(int(av), int(bv))
     elif op == Op.MOD:
-        value = int(av) % int(bv)
-    elif op == Op.SHR:
-        value = (int(av) & ((1 << dtype.bits) - 1)) >> int(bv)
-    elif op == Op.SAR:
+        value = _trunc_mod(int(av), int(bv))
+    elif op in (Op.SHR, Op.SAR):
+        # Both realization engines shift on the un-normalized integer domain
+        # (Python/int64 arithmetic shift); folding must agree with them, or a
+        # constant-folded tree realizes differently from the unfolded one.
+        # x86's logical-vs-arithmetic distinction is already applied by the
+        # emulator on the width-masked values before trees are built.
         value = int(av) >> int(bv)
     elif op == Op.SHL:
         value = int(av) << int(bv)
@@ -250,9 +266,45 @@ def simplify(expr: Expr) -> Expr:
     return current
 
 
+#: Memo of already-canonicalized trees.  Trace-driven tree building
+#: canonicalizes the same address expressions, predicates and unrolled-copy
+#: trees over and over; repeated identical inputs skip the fixed-point rewrite
+#: entirely.  The key is the tree (cached structural key) *plus* the
+#: positional values of its Param leaves: structural keys deliberately ignore
+#: the observed parameter values, but returning a memoized tree would also
+#: return its Param objects, so two lifts that differ only in runtime
+#: constants must not share an entry.
+_CANON_CACHE: dict[tuple, Expr] = {}
+_CANON_CACHE_LIMIT = 8192
+canonicalize_stats = {"hits": 0, "misses": 0}
+
+
+def _memo_key(expr: Expr) -> tuple:
+    values = tuple(node.value for node in expr.walk() if isinstance(node, Param))
+    return (expr, values)
+
+
 def canonicalize(expr: Expr) -> Expr:
-    """Alias used by the tree-building code; canonical form == simplified form."""
-    return simplify(expr)
+    """Simplify with memoization; canonical form == simplified form."""
+    key = _memo_key(expr)
+    cached = _CANON_CACHE.get(key)
+    if cached is not None:
+        canonicalize_stats["hits"] += 1
+        return cached
+    canonicalize_stats["misses"] += 1
+    result = simplify(expr)
+    if len(_CANON_CACHE) >= _CANON_CACHE_LIMIT:
+        _CANON_CACHE.clear()
+    _CANON_CACHE[key] = result
+    # A canonical tree canonicalizes to itself; seeding the memo with the
+    # result makes re-canonicalization (clustering, codegen) a direct hit.
+    _CANON_CACHE.setdefault(_memo_key(result), result)
+    return result
+
+
+def clear_canonicalize_cache() -> None:
+    _CANON_CACHE.clear()
+    canonicalize_stats["hits"] = canonicalize_stats["misses"] = 0
 
 
 # ---------------------------------------------------------------------------

@@ -55,7 +55,8 @@ def _pad_plane(plane: np.ndarray, pad: int) -> np.ndarray:
 
 def apply_lifted_photoshop(result: LiftResult, filter_name: str,
                            planes: dict[str, np.ndarray],
-                           params: dict | None = None) -> dict[str, np.ndarray]:
+                           params: dict | None = None,
+                           engine: str | None = None) -> dict[str, np.ndarray]:
     """Apply a lifted Photoshop filter to full-size planes.
 
     The lifted kernels reference one input buffer per colour plane; the same
@@ -93,12 +94,13 @@ def apply_lifted_photoshop(result: LiftResult, filter_name: str,
                 # buffer order, which follows the r/g/b allocation order.
                 source_channel = channel_order[image_inputs.index(name)]
             buffers[name] = _pad_plane(planes[source_channel], pad)
-        outputs[channel] = realize(func, (width, height), buffers)
+        outputs[channel] = realize(func, (width, height), buffers, engine=engine)
     return outputs
 
 
 def apply_lifted_irfanview(result: LiftResult, filter_name: str,
-                           image: np.ndarray) -> np.ndarray:
+                           image: np.ndarray,
+                           engine: str | None = None) -> np.ndarray:
     """Apply a lifted IrfanView filter to a full-size interleaved image."""
     kernel = result.kernels[0]
     func = result.funcs[kernel.output]
@@ -109,11 +111,12 @@ def apply_lifted_irfanview(result: LiftResult, filter_name: str,
     # The lifted kernels index interleaved images as (channel, x, y), which is
     # an outermost-first (y, x, channel) NumPy array.
     buffers = {name: padded for name in kernel.input_names}
-    return realize(func, (channels, width, height), buffers)
+    return realize(func, (channels, width, height), buffers, engine=engine)
 
 
 def apply_lifted_minigmg(result: LiftResult, grid: np.ndarray,
-                         iterations: int = 4) -> np.ndarray:
+                         iterations: int = 4,
+                         engine: str | None = None) -> np.ndarray:
     """Apply the lifted smooth stencil for several Jacobi iterations."""
     kernel = result.kernels[0]
     func = result.funcs[kernel.output]
@@ -121,7 +124,7 @@ def apply_lifted_minigmg(result: LiftResult, grid: np.ndarray,
     current = grid.copy()
     for _ in range(iterations):
         buffers = {name: current for name in kernel.input_names}
-        interior = realize(func, (nx, ny, nz), buffers)
+        interior = realize(func, (nx, ny, nz), buffers, engine=engine)
         new = current.copy()
         new[1:nz + 1, 1:ny + 1, 1:nx + 1] = interior
         current = new

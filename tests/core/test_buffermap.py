@@ -1,0 +1,46 @@
+"""Tests for the bisect-based BufferMap interval lookup."""
+
+from repro.core.regions import MemoryRegion
+from repro.core.trees import BufferEntry, BufferMap
+
+
+def _entry(name, start, end, role="input"):
+    return BufferEntry(name=name, region=MemoryRegion(start=start, end=end),
+                       role=role)
+
+
+class TestBufferMapLookup:
+    def test_lookup_hits_and_misses(self):
+        buffer_map = BufferMap(entries=[
+            _entry("b", 0x2000, 0x2100),
+            _entry("a", 0x1000, 0x1100, role="output"),
+            _entry("c", 0x3000, 0x3008, role="table"),
+        ])
+        assert buffer_map.lookup(0x1000).name == "a"
+        assert buffer_map.lookup(0x10ff).name == "a"
+        assert buffer_map.lookup(0x1100) is None      # end is exclusive
+        assert buffer_map.lookup(0x20ff).name == "b"
+        assert buffer_map.lookup(0x3007).name == "c"
+        assert buffer_map.lookup(0x0fff) is None
+        assert buffer_map.lookup(0x2fff) is None
+        assert buffer_map.lookup(0x9999) is None
+
+    def test_lookup_matches_linear_scan(self):
+        entries = [_entry(f"buf{i}", 0x1000 + 0x300 * i, 0x1000 + 0x300 * i + 0x100)
+                   for i in range(20)]
+        buffer_map = BufferMap(entries=list(reversed(entries)))
+        for address in range(0x0f00, 0x7000, 7):
+            linear = next((e for e in buffer_map.entries
+                           if e.region.contains(address)), None)
+            assert buffer_map.lookup(address) is linear
+
+    def test_index_rebuilds_after_append(self):
+        buffer_map = BufferMap(entries=[_entry("a", 0x100, 0x200)])
+        assert buffer_map.lookup(0x150).name == "a"
+        assert buffer_map.lookup(0x250) is None
+        buffer_map.entries.append(_entry("b", 0x200, 0x300))
+        assert buffer_map.lookup(0x250).name == "b"
+        assert buffer_map.lookup(0x150).name == "a"
+
+    def test_empty_map(self):
+        assert BufferMap().lookup(0x1234) is None

@@ -1,0 +1,107 @@
+"""Tests for the emulator's basic-block execution cache."""
+
+import pytest
+
+from repro.x86 import Emulator, Module, Program
+from repro.x86.emulator import EmulationError
+
+
+LOOP_ASM = """
+sum_to_n:
+  push ebp
+  mov ebp, esp
+  mov ecx, dword ptr [ebp+0x8]
+  xor eax, eax
+sum_to_n__loop:
+  add eax, ecx
+  dec ecx
+  cmp ecx, 0
+  jg sum_to_n__loop
+  mov esp, ebp
+  pop ebp
+  ret
+"""
+
+
+def _program():
+    return Program([Module.from_assembly("loop", LOOP_ASM)]).load()
+
+
+class TestBlockCache:
+    def test_loop_blocks_are_cached_and_replayed(self):
+        emulator = Emulator(_program())
+        result = emulator.call_function("sum_to_n", [10])
+        assert result == sum(range(1, 11))
+        stats = emulator.block_cache_stats
+        # The loop body re-executes through the cache: one decode per block,
+        # many replays.
+        assert stats["misses"] >= 1
+        assert stats["hits"] > stats["misses"]
+
+    def test_cached_run_matches_fresh_run(self):
+        emulator = Emulator(_program())
+        first = emulator.call_function("sum_to_n", [25])
+        count_first = emulator.instruction_count
+        second = emulator.call_function("sum_to_n", [25])
+        assert first == second == sum(range(1, 26))
+        assert emulator.instruction_count == 2 * count_first
+
+    def test_instrumentation_hooks_fire_through_cache(self):
+        emulator = Emulator(_program())
+
+        class Recorder:
+            def __init__(self):
+                self.blocks = []
+                self.instructions = 0
+                self.accesses = 0
+
+            def attached(self, emu):
+                pass
+
+            def on_block(self, address, previous, emu):
+                self.blocks.append(address)
+
+            def on_instruction(self, ins, emu):
+                self.instructions += 1
+
+            def on_instruction_done(self, ins, accesses, emu):
+                self.accesses += len(accesses)
+
+        recorder = Recorder()
+        emulator.attach(recorder)
+        emulator.call_function("sum_to_n", [5])
+        executed = emulator.instruction_count
+        assert recorder.instructions == executed
+        # 5 loop iterations -> the loop head block appears 4 times as a
+        # jump target plus the function entry and exit blocks.
+        assert len(recorder.blocks) >= 5
+        assert recorder.accesses > 0      # push/pop and argument loads
+
+    def test_budget_still_enforced(self):
+        emulator = Emulator(_program())
+        with pytest.raises(EmulationError, match="budget"):
+            emulator.call_function("sum_to_n", [1000], max_instructions=20)
+
+    def test_tracing_disabled_without_done_hooks(self):
+        emulator = Emulator(_program())
+        emulator.call_function("sum_to_n", [3])
+        assert not emulator._access_log     # no artifacts built untraced
+
+    def test_stop_address_mid_block_is_honoured(self):
+        # A stop address that is a straight-line fall-through (not a block
+        # entry) must still halt execution before that instruction runs.
+        program = _program()
+        emulator = Emulator(program)
+        entry = program.resolve("sum_to_n")
+        instructions = sorted(a for a in program.instruction_at)
+        third = instructions[instructions.index(entry) + 3]   # 'xor eax, eax'
+        emulator.cpu.set_reg("eax", 0xdead)
+        emulator.run(entry, stop_address=third, max_instructions=100)
+        assert emulator.cpu.eip == third
+        assert emulator.cpu.get_reg("eax") == 0xdead          # xor never ran
+        # Run again through the (now cached) block: same stopping point.
+        emulator2 = Emulator(program)
+        emulator2.run(entry, stop_address=third, max_instructions=100)
+        emulator2.cpu.set_reg("eax", 0xbeef)
+        emulator2.run(entry, stop_address=third, max_instructions=100)
+        assert emulator2.cpu.get_reg("eax") == 0xbeef
