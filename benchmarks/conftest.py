@@ -23,6 +23,11 @@ from repro.apps.images import make_test_planes
 BENCH_WIDTH = 480
 BENCH_HEIGHT = 320
 
+#: Larger image for the multicore/batched benchmarks: tile-parallel execution
+#: needs enough work per realization for the fan-out to pay off.
+LARGE_WIDTH = 960
+LARGE_HEIGHT = 640
+
 #: Collected measurements, written to BENCH_results.json at session end so
 #: the perf trajectory is machine-readable across PRs.
 BENCH_RESULTS: dict[str, dict] = {}
@@ -68,6 +73,11 @@ def pytest_sessionfinish(session, exitstatus):
 @pytest.fixture(scope="session")
 def bench_planes() -> dict[str, np.ndarray]:
     return make_test_planes(BENCH_WIDTH, BENCH_HEIGHT, seed=42)
+
+
+@pytest.fixture(scope="session")
+def bench_planes_large() -> dict[str, np.ndarray]:
+    return make_test_planes(LARGE_WIDTH, LARGE_HEIGHT, seed=7)
 
 
 @pytest.fixture(scope="session")

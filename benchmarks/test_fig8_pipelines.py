@@ -12,10 +12,22 @@ that fusion gives the biggest win (2.91x / 5.17x over the original sequence).
 
 from __future__ import annotations
 
+import os
+import time
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
-from repro.halide import FuncPipeline, FusedPipeline
+from repro.halide import (
+    FuncPipeline,
+    FuncStage,
+    FusedPipeline,
+    Schedule,
+    configure_pool,
+    pool_size,
+)
+from repro.halide.parallel import parallel_enabled
 from repro.rejuvenation import (
     apply_lifted_irfanview,
     apply_lifted_photoshop,
@@ -26,7 +38,13 @@ from repro.rejuvenation import (
     lift_photoshop_filter,
 )
 
-from conftest import print_table, record_bench, time_callable
+from conftest import (
+    LARGE_HEIGHT,
+    LARGE_WIDTH,
+    print_table,
+    record_bench,
+    time_callable,
+)
 
 PS_PIPELINE = ("blur", "invert", "sharpen_more")
 IV_PIPELINE = ("sharpen", "solarize", "blur")
@@ -195,3 +213,106 @@ def test_fig8_engines_compiled_vs_interp(bench_planes):
     record_bench("fig8_engines/compiled", compiled_time, engine="compiled",
                  speedup=round(speedup, 2))
     assert speedup >= 3.0, f"compiled engine only {speedup:.2f}x faster"
+
+
+# -- multicore tile executor + batched serving --------------------------------
+
+
+def _scheduled(pipeline: FuncPipeline, tile: tuple[int, int],
+               parallel: bool) -> FuncPipeline:
+    """The same pipeline with every stage re-scheduled (copies, not mutation:
+    the underlying Funcs come from the shared lru-cached lift results)."""
+    stages = []
+    for stage in pipeline.stages:
+        func = replace(stage.func, schedule=Schedule(
+            tile_x=tile[0], tile_y=tile[1], parallel=parallel))
+        stages.append(FuncStage(name=stage.name, func=func,
+                                input_name=stage.input_name, pad=stage.pad,
+                                pad_width=stage.pad_width))
+    return FuncPipeline(stages)
+
+
+def test_fig8_parallel_vs_serial(bench_planes_large):
+    """Multicore headline: tile-parallel vs serial compiled realization.
+
+    The same fused Photoshop pipeline runs tiled 128x64 at 960x640 with and
+    without ``Schedule.parallel``; outputs must be bit-identical, and on a
+    multicore host (>= 4 cores) the parallel schedule must be >= 1.5x faster.
+    On smaller hosts the numbers are still recorded for the trajectory.
+    """
+    configure_pool()           # fresh pool sized to this machine
+    fused = {channel: _ps_func_pipeline(channel).fused() for channel in "rgb"}
+    serial = {channel: _scheduled(p, (128, 64), False)
+              for channel, p in fused.items()}
+    parallel = {channel: _scheduled(p, (128, 64), True)
+                for channel, p in fused.items()}
+
+    serial_out = _run_engine(serial, bench_planes_large, "compiled")
+    parallel_out = _run_engine(parallel, bench_planes_large, "compiled")
+    for channel in bench_planes_large:
+        np.testing.assert_array_equal(serial_out[channel], parallel_out[channel])
+
+    serial_time = time_callable(
+        lambda: _run_engine(serial, bench_planes_large, "compiled"), 3)
+    parallel_time = time_callable(
+        lambda: _run_engine(parallel, bench_planes_large, "compiled"), 3)
+    speedup = serial_time / parallel_time
+    cores = os.cpu_count() or 1
+    print_table(f"Figure 8 (parallel): Photoshop pipeline at "
+                f"{LARGE_WIDTH}x{LARGE_HEIGHT}, {pool_size()} workers",
+                ["schedule", "ms", "speedup"],
+                [["tile(128,64) serial", f"{serial_time * 1000:.1f}", "1.00x"],
+                 ["tile(128,64).parallel", f"{parallel_time * 1000:.1f}",
+                  f"{speedup:.2f}x"]])
+    record_bench("fig8_parallel/serial", serial_time, engine="compiled",
+                 image_size=(LARGE_WIDTH, LARGE_HEIGHT))
+    record_bench("fig8_parallel/parallel", parallel_time, engine="compiled",
+                 image_size=(LARGE_WIDTH, LARGE_HEIGHT),
+                 speedup=round(speedup, 2), workers=pool_size(), cores=cores)
+    # Gate on the *effective* pool, not raw core count: REPRO_NUM_THREADS /
+    # REPRO_PARALLEL legitimately force serial execution on multicore hosts.
+    if pool_size() >= 4 and parallel_enabled():
+        assert speedup >= 1.5, f"parallel tiles only {speedup:.2f}x faster"
+
+
+def test_fig8_batched_throughput(bench_planes_large):
+    """Serving scenario: realize_batch vs a serial loop over the same frames.
+
+    Eight 960x640 frames go through one fused pipeline; the batched service
+    compiles once and overlaps whole frames across the worker pool, so on a
+    multicore host it must sustain more frames/sec than the serial loop.
+    """
+    configure_pool()
+    pipeline = _scheduled(_ps_func_pipeline("r").fused(), (0, 0), False)
+    base = bench_planes_large["r"]
+    frames = [np.roll(base, shift, axis=0).copy() for shift in range(8)]
+
+    pipeline.realize(frames[0])                       # warm the kernel cache
+    start = time.perf_counter()
+    serial_outputs = [pipeline.realize(frame) for frame in frames]
+    serial_wall = time.perf_counter() - start
+    serial_fps = len(frames) / serial_wall
+
+    batch = pipeline.realize_batch(frames)
+    for serial_output, batched_output in zip(serial_outputs, batch.outputs):
+        np.testing.assert_array_equal(serial_output, batched_output)
+
+    cores = os.cpu_count() or 1
+    print_table(f"Figure 8 (serving): {len(frames)} frames at "
+                f"{LARGE_WIDTH}x{LARGE_HEIGHT}, {pool_size()} workers",
+                ["configuration", "wall ms", "frames/sec"],
+                [["serial loop", f"{serial_wall * 1000:.1f}",
+                  f"{serial_fps:.1f}"],
+                 ["realize_batch", f"{batch.wall_seconds * 1000:.1f}",
+                  f"{batch.frames_per_second:.1f}"]])
+    record_bench("fig8_serving/serial_loop", serial_wall, engine="compiled",
+                 image_size=(LARGE_WIDTH, LARGE_HEIGHT),
+                 frames=len(frames), fps=round(serial_fps, 2))
+    record_bench("fig8_serving/realize_batch", batch.wall_seconds,
+                 engine="compiled", image_size=(LARGE_WIDTH, LARGE_HEIGHT),
+                 frames=len(frames), fps=round(batch.frames_per_second, 2),
+                 workers=pool_size(), cores=cores)
+    if pool_size() >= 4 and parallel_enabled():
+        assert batch.frames_per_second > serial_fps, (
+            f"batched serving ({batch.frames_per_second:.1f} fps) did not beat "
+            f"the serial loop ({serial_fps:.1f} fps)")

@@ -1,0 +1,58 @@
+"""Docs link check: every relative markdown link must point at a real file.
+
+Scans the given markdown files (default: README.md and docs/*.md) for inline
+links/images and verifies that non-URL targets exist relative to the file
+containing the link.  External http(s)/mailto links are skipped — CI runs
+offline.  Exits non-zero listing every broken link.
+
+Run with:  python scripts/check_docs_links.py [files...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def default_files() -> list[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def check_file(path: Path) -> list[str]:
+    broken = []
+    for match in LINK_RE.finditer(path.read_text(encoding="utf-8")):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            broken.append(f"{path.relative_to(REPO_ROOT)}: broken link -> {target}")
+    return broken
+
+
+def main(argv: list[str]) -> int:
+    files = [Path(arg) for arg in argv] if argv else default_files()
+    if not files:
+        print("no markdown files to check", file=sys.stderr)
+        return 1
+    broken = []
+    for path in files:
+        broken.extend(check_file(path))
+    for line in broken:
+        print(line, file=sys.stderr)
+    checked = ", ".join(str(f.relative_to(REPO_ROOT)) for f in files)
+    if broken:
+        print(f"{len(broken)} broken link(s) in {checked}", file=sys.stderr)
+        return 1
+    print(f"docs link check OK ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

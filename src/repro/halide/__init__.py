@@ -4,9 +4,14 @@ The real Halide is not available offline, so this package provides the pieces
 the lifted code needs — ``Var``, ``Func``, ``ImageParam``, ``RDom``, ``cast``
 and ``select`` — together with two NumPy *realization engines*: a tree-walking
 interpreter (the oracle) and a compiled backend that lowers each function to a
-fused, CSE'd kernel, compiles it once and caches it.  A small scheduling model
-(tiling / vectorize-by-numpy), Func-level pipeline fusion and a random-search
-autotuner standing in for OpenTuner round out the front end.
+fused, CSE'd kernel, compiles it once and caches it.  On top of the compiled
+engine sit two throughput layers: tiled schedules marked ``parallel`` execute
+their tiles across a shared worker pool (:mod:`repro.halide.parallel`), and a
+batched realization service (:class:`PipelineServer` / :func:`realize_batch`)
+compiles a pipeline once and serves many frames concurrently with bounded
+queueing.  A small scheduling model (tiling / vectorize-by-numpy /
+parallel-by-tiles), Func-level pipeline fusion and a random-search autotuner
+standing in for OpenTuner round out the front end.
 """
 
 from .func import Func, ImageParam, RDom, Schedule, Var
@@ -17,6 +22,14 @@ from .compile import (
     compile_func,
     kernel_cache_stats,
 )
+from .parallel import (
+    ParallelFallbackWarning,
+    configure_pool,
+    execution_stats,
+    pool_size,
+    reset_execution_stats,
+)
+from .serve import BatchResult, PipelineServer, realize_batch
 from .autotune import autotune
 from .pipeline import FuncPipeline, FuncStage, FusedPipeline, inline_producer
 
@@ -24,4 +37,7 @@ __all__ = ["Func", "ImageParam", "RDom", "Schedule", "Var", "realize",
            "realize_interp", "set_default_engine", "ENGINES",
            "CompiledKernel", "compile_func", "kernel_cache_stats",
            "clear_kernel_cache", "autotune", "FusedPipeline",
-           "FuncPipeline", "FuncStage", "inline_producer"]
+           "FuncPipeline", "FuncStage", "inline_producer",
+           "ParallelFallbackWarning", "configure_pool", "execution_stats",
+           "pool_size", "reset_execution_stats",
+           "BatchResult", "PipelineServer", "realize_batch"]

@@ -1,10 +1,17 @@
 """A small random-search autotuner standing in for OpenTuner (paper 6.2).
 
 The search space is the schedule of the lifted function: tile sizes, whether
-producers are fused, vectorization.  Each candidate schedule is timed on the
-supplied workload and the best is kept.  Schedules are part of the compiled
-backend's kernel cache key, so re-evaluating a schedule (and the final run
-with the winner) pays codegen only on first sight.
+producers are fused, vectorization and — since the multicore executor — tile
+parallelism.  Each candidate schedule is timed on the supplied workload and
+the best is kept.  Schedules are part of the compiled backend's kernel cache
+key, so re-evaluating a schedule (and the final run with the winner) pays
+codegen only on first sight.
+
+Parallel candidates are sampled *with* tiles (an untiled ``parallel`` request
+falls back to serial and would measure nothing different), and the shared
+worker pool is warmed before timing starts so no candidate pays thread
+startup.  The timings therefore reflect the real execution mode of every
+candidate, and ``Schedule.describe()`` on the winner says what actually ran.
 """
 
 from __future__ import annotations
@@ -14,9 +21,11 @@ import time
 from dataclasses import dataclass
 
 from .func import Func, Schedule
+from .parallel import parallel_enabled, pool_size, warm_pool
 from .realize import realize
 
 _TILE_CHOICES = (0, 8, 16, 32, 64, 128)
+_NONZERO_TILES = tuple(t for t in _TILE_CHOICES if t)
 
 
 @dataclass
@@ -41,24 +50,46 @@ def _time_schedule(func: Func, shape, buffers, params, engine,
     return best
 
 
+def _sample_schedule(rng: random.Random) -> Schedule:
+    """One random schedule; parallel candidates always carry tiles.
+
+    ``parallel`` without tiles has no independent work units and would run
+    (and time) identically to the serial schedule, wasting an evaluation.
+    """
+    tile_x = rng.choice(_TILE_CHOICES)
+    tile_y = rng.choice(_TILE_CHOICES)
+    # The draws are identical on every machine so a seed names one candidate
+    # sequence; a single-worker pool just never honours the parallel draw.
+    want_parallel = rng.random() < 0.5
+    if want_parallel:
+        tile_x = tile_x or rng.choice(_NONZERO_TILES)
+        tile_y = tile_y or rng.choice(_NONZERO_TILES)
+    return Schedule(tile_x=tile_x, tile_y=tile_y, vectorize=True,
+                    parallel=(want_parallel and pool_size() > 1
+                              and parallel_enabled()),
+                    fuse_producers=rng.random() < 0.8)
+
+
 def autotune(func: Func, shape, buffers, params=None, iterations: int = 10,
              seed: int = 0, engine: str | None = None) -> TuneResult:
-    """Search schedules for ``func`` on the given workload."""
+    """Search schedules for ``func`` on the given workload.
+
+    Every candidate is timed end to end through the selected engine, so tile
+    sizes, fusion *and* parallel execution all show up in the measurements;
+    the Func is left carrying the best schedule found.
+    """
     rng = random.Random(seed)
     params = params or {}
+    # Spin the worker threads up outside the timed region (a no-op for
+    # single-worker pools).
+    warm_pool()
     history: list[tuple[Schedule, float]] = []
     best_schedule = Schedule()
     func.schedule = best_schedule
     best_time = _time_schedule(func, shape, buffers, params, engine)
     history.append((best_schedule, best_time))
     for _ in range(iterations):
-        candidate = Schedule(
-            tile_x=rng.choice(_TILE_CHOICES),
-            tile_y=rng.choice(_TILE_CHOICES),
-            vectorize=True,
-            parallel=rng.random() < 0.5,
-            fuse_producers=rng.random() < 0.8,
-        )
+        candidate = _sample_schedule(rng)
         func.schedule = candidate
         elapsed = _time_schedule(func, shape, buffers, params, engine)
         history.append((candidate, elapsed))

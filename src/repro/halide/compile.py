@@ -29,6 +29,8 @@ always safe to use as the default engine.
 
 from __future__ import annotations
 
+import threading
+from concurrent import futures
 from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
@@ -51,6 +53,7 @@ from ..ir import (
 )  # noqa: F401 (DType used in annotations)
 from ..ir.simplify import _trunc_div
 from .func import Func
+from .parallel import reset_fallback_warnings, run_tiles, warn_serial_fallback
 from .realize import (
     RealizationError,
     _strip_self_reference,
@@ -777,12 +780,21 @@ def _shift_of_index(index: Expr) -> Optional[tuple[str, int]]:
 
 @dataclass
 class CompiledKernel:
-    """A compiled (or fallback) realization of one Func."""
+    """A compiled (or fallback) realization of one Func.
+
+    ``parallel_capable`` reports whether the generated kernel can fan its
+    tiles out across the shared worker pool — i.e. whether the schedule's
+    ``parallel`` request was honoured by codegen.  (Even a capable kernel may
+    run a particular call serially when the cost heuristic in
+    :mod:`repro.halide.parallel` decides the output is too small; real
+    per-call outcomes are tallied in ``parallel.execution_stats``.)
+    """
 
     fn: object
     engine: str                    # 'compiled' or 'interp-fallback'
     source: str = ""
     compute_dtype: str = ""
+    parallel_capable: bool = False
 
     def __call__(self, shape: tuple[int, ...], buffers: Mapping[str, np.ndarray],
                  params: Mapping[str, float]) -> np.ndarray:
@@ -790,14 +802,29 @@ class CompiledKernel:
 
 
 _KERNEL_CACHE: dict[tuple, CompiledKernel] = {}
+#: Guards the cache, its counters, and the pending-build table:
+#: ``compile_func`` may race from the worker pool (parallel batches compiling
+#: distinct stages) and the counters must stay exact under that concurrency.
+_CACHE_LOCK = threading.Lock()
+#: Signatures currently being built, mapped to a future the builder resolves;
+#: racers on the *same* signature wait here (and count as hits) while racers
+#: on distinct signatures compile concurrently outside the lock.
+_PENDING_BUILDS: dict[tuple, "futures.Future"] = {}
 kernel_cache_stats = {"hits": 0, "misses": 0, "fallbacks": 0}
 
 
 def clear_kernel_cache() -> None:
-    _KERNEL_CACHE.clear()
-    kernel_cache_stats["hits"] = 0
-    kernel_cache_stats["misses"] = 0
-    kernel_cache_stats["fallbacks"] = 0
+    with _CACHE_LOCK:
+        _KERNEL_CACHE.clear()
+        # Drop pending builds too: a post-clear compile must look (and count)
+        # fresh rather than latch onto a pre-clear in-flight build.  An
+        # orphaned builder still resolves its own future for pre-clear
+        # waiters; its pop() below is tolerant of the missing entry.
+        _PENDING_BUILDS.clear()
+        kernel_cache_stats["hits"] = 0
+        kernel_cache_stats["misses"] = 0
+        kernel_cache_stats["fallbacks"] = 0
+    reset_fallback_warnings()
 
 
 def func_signature(func: Func) -> tuple:
@@ -823,26 +850,69 @@ def func_signature(func: Func) -> tuple:
          if isinstance(node, Param)}))
     return (func.name, tuple(v.name for v in func.variables), func.dtype,
             value_key, reduction_key, param_defaults,
-            func.schedule.tile_x, func.schedule.tile_y)
+            func.schedule.tile_x, func.schedule.tile_y, func.schedule.parallel)
+
+
+def parallel_unsupported_reason(func: Func) -> Optional[str]:
+    """Why ``schedule.parallel`` cannot be honoured for this Func (or None)."""
+    return func.parallel_unsupported_reason()
 
 
 def compile_func(func: Func) -> CompiledKernel:
-    """Compile (or fetch from cache) the kernel realizing ``func``."""
+    """Compile (or fetch from cache) the kernel realizing ``func``.
+
+    Thread-safe: concurrent callers racing on the same signature compile the
+    kernel exactly once and ``kernel_cache_stats`` stays exact (one miss,
+    every other caller a hit), while distinct signatures compile concurrently
+    — codegen runs outside the cache lock, guarded per signature.
+    """
     signature = func_signature(func)
-    kernel = _KERNEL_CACHE.get(signature)
-    if kernel is not None:
-        kernel_cache_stats["hits"] += 1
-        return kernel
-    kernel_cache_stats["misses"] += 1
-    try:
-        kernel = _build_kernel(func)
-    except LoweringError:
-        kernel_cache_stats["fallbacks"] += 1
-        kernel = CompiledKernel(
-            fn=lambda np_shape, buffers, params, _f=func: realize_interp(
-                _f, tuple(reversed(np_shape)), buffers, params),
-            engine="interp-fallback")
-    _KERNEL_CACHE[signature] = kernel
+    with _CACHE_LOCK:
+        kernel = _KERNEL_CACHE.get(signature)
+        if kernel is not None:
+            kernel_cache_stats["hits"] += 1
+            return kernel
+        pending = _PENDING_BUILDS.get(signature)
+        if pending is None:
+            kernel_cache_stats["misses"] += 1
+            pending = futures.Future()
+            _PENDING_BUILDS[signature] = pending
+            building = True
+        else:
+            building = False
+    if building:
+        try:
+            try:
+                kernel = _build_kernel(func)
+            except LoweringError:
+                with _CACHE_LOCK:
+                    kernel_cache_stats["fallbacks"] += 1
+                kernel = CompiledKernel(
+                    fn=lambda np_shape, buffers, params, _f=func: realize_interp(
+                        _f, tuple(reversed(np_shape)), buffers, params),
+                    engine="interp-fallback")
+        except BaseException as exc:       # unexpected codegen bug: unblock racers
+            with _CACHE_LOCK:
+                # Guarded like the success path: after clear_kernel_cache a
+                # successor builder may own the entry — leave it alone.
+                if _PENDING_BUILDS.get(signature) is pending:
+                    del _PENDING_BUILDS[signature]
+            pending.set_exception(exc)
+            raise
+        with _CACHE_LOCK:
+            # Install only if this build is still current: clear_kernel_cache
+            # may have run meanwhile, and re-inserting would undo the clear.
+            if _PENDING_BUILDS.get(signature) is pending:
+                _KERNEL_CACHE[signature] = kernel
+                del _PENDING_BUILDS[signature]
+        pending.set_result(kernel)       # pre-clear waiters still get a kernel
+    else:
+        kernel = pending.result()
+        with _CACHE_LOCK:
+            kernel_cache_stats["hits"] += 1
+    if func.schedule.parallel and not kernel.parallel_capable:
+        reason = parallel_unsupported_reason(func) or "lowering fell back"
+        warn_serial_fallback(signature, reason)
     return kernel
 
 
@@ -854,12 +924,15 @@ def _build_kernel(func: Func) -> CompiledKernel:
         "_np": np, "_win": _win, "_gather": _gather,
         "_trunc_divide": _trunc_divide, "_trunc_remainder": _trunc_remainder,
         "_wrap_cast": _wrap_cast, "RealizationError": RealizationError,
+        "_run_tiles": run_tiles,
         "_odtype": func.dtype, "_odt": func.dtype.to_numpy(),
         "_fallback": lambda np_shape, buffers, params, _f=func: realize_interp(
             _f, tuple(reversed(np_shape)), buffers, params),
     }
     lines: list[str] = []
     compute_dtype = "int64"
+    parallel_capable = (func.schedule.parallel
+                        and parallel_unsupported_reason(func) is None)
 
     if func.value is not None:
         emitter = _DomainEmitter(func, [func.value], "pure", namespace)
@@ -872,7 +945,7 @@ def _build_kernel(func: Func) -> CompiledKernel:
         emitter = None
 
     lines.append("")
-    lines.extend(_emit_kernel_entry(func, emitter))
+    lines.extend(_emit_kernel_entry(func, emitter, parallel_capable))
 
     if func.reduction is not None:
         lines.extend(_emit_reduction(func, namespace))
@@ -882,7 +955,8 @@ def _build_kernel(func: Func) -> CompiledKernel:
     code = compile(source, f"<compiled kernel {func.name}>", "exec")
     exec(code, namespace)
     return CompiledKernel(fn=namespace["_kernel"], engine="compiled",
-                         source=source, compute_dtype=compute_dtype)
+                         source=source, compute_dtype=compute_dtype,
+                         parallel_capable=parallel_capable)
 
 
 def _emit_pure_body(func: Func, emitter: _DomainEmitter) -> tuple[list[str], str]:
@@ -907,7 +981,8 @@ def _emit_pure_body(func: Func, emitter: _DomainEmitter) -> tuple[list[str], str
     return lines, root
 
 
-def _emit_kernel_entry(func: Func, emitter: Optional[_DomainEmitter]) -> list[str]:
+def _emit_kernel_entry(func: Func, emitter: Optional[_DomainEmitter],
+                       parallel: bool) -> list[str]:
     lines = ["def _kernel(shape, buffers, params):"]
     if emitter is not None and emitter.narrow and emitter.uses_var_grid:
         lines.append(f"    if shape and max(shape) >= {VAR_BOUND}:")
@@ -917,14 +992,26 @@ def _emit_kernel_entry(func: Func, emitter: Optional[_DomainEmitter]) -> list[st
     if func.value is not None and tile_x > 0 and tile_y > 0 and rank >= 2:
         lines.append("    out = _np.empty(shape, dtype=_odt)")
         lines.append(f"    _height, _width = shape[{rank - 2}], shape[{rank - 1}]")
-        lines.append(f"    for _oy in range(0, _height, {tile_y}):")
-        lines.append(f"        _ey = min({tile_y}, _height - _oy)")
-        lines.append(f"        for _ox in range(0, _width, {tile_x}):")
-        lines.append(f"            _ex = min({tile_x}, _width - _ox)")
-        lines.append(f"            _origin = (0,) * {rank - 2} + (_oy, _ox)")
-        lines.append(f"            _extent = shape[:{rank - 2}] + (_ey, _ex)")
-        lines.append("            out[..., _oy:_oy + _ey, _ox:_ox + _ex] = "
-                     "_body(_origin, _extent, buffers, params)")
+        if parallel:
+            # Enumerate the (disjoint) tiles, then let the shared worker pool
+            # execute them; the cost heuristic may still keep a call serial.
+            lines.append("    _tiles = []")
+            lines.append(f"    for _oy in range(0, _height, {tile_y}):")
+            lines.append(f"        _ey = min({tile_y}, _height - _oy)")
+            lines.append(f"        for _ox in range(0, _width, {tile_x}):")
+            lines.append(f"            _ex = min({tile_x}, _width - _ox)")
+            lines.append(f"            _tiles.append(((0,) * {rank - 2} + (_oy, _ox), "
+                         f"shape[:{rank - 2}] + (_ey, _ex)))")
+            lines.append("    _run_tiles(_body, out, _tiles, buffers, params)")
+        else:
+            lines.append(f"    for _oy in range(0, _height, {tile_y}):")
+            lines.append(f"        _ey = min({tile_y}, _height - _oy)")
+            lines.append(f"        for _ox in range(0, _width, {tile_x}):")
+            lines.append(f"            _ex = min({tile_x}, _width - _ox)")
+            lines.append(f"            _origin = (0,) * {rank - 2} + (_oy, _ox)")
+            lines.append(f"            _extent = shape[:{rank - 2}] + (_ey, _ex)")
+            lines.append("            out[..., _oy:_oy + _ey, _ox:_ox + _ex] = "
+                         "_body(_origin, _extent, buffers, params)")
     else:
         lines.append(f"    out = _body((0,) * {rank}, tuple(shape), buffers, params)")
     return lines

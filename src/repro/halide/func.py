@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..ir import DType, Expr, UINT8, Var as IRVar
+from .parallel import parallel_enabled, pool_size
 
 
 class Var(IRVar):
@@ -46,8 +47,15 @@ class Schedule:
     """A (simulated) Halide schedule.
 
     The NumPy realizer always vectorizes; tiling controls the block size used
-    when evaluating large outputs (affecting locality), and ``fuse_producers``
-    controls whether producer functions are inlined or materialized.
+    when evaluating large outputs (affecting locality), ``parallel`` asks the
+    compiled engine to execute independent tiles across the shared worker
+    pool (see :mod:`repro.halide.parallel`), and ``fuse_producers`` controls
+    whether producer functions are inlined or materialized.
+
+    ``parallel`` is only honoured for tiled pure functions of rank >= 2 — an
+    untiled schedule has no independent work units to distribute, so it falls
+    back to serial execution (and :func:`describe` says so).  For the full
+    per-Func answer (reductions, rank) use :meth:`Func.execution_mode`.
     """
 
     tile_x: int = 0
@@ -57,13 +65,26 @@ class Schedule:
     fuse_producers: bool = True
 
     def describe(self) -> str:
+        """A Halide-style summary of the schedule, honest about untiled
+        parallelism.
+
+        A parallel request the schedule itself can see is impossible (no
+        tiles to distribute) is reported as ``parallel(serial:untiled)``.
+        Obstacles only the Func knows — reductions, rank < 2 — and the
+        environment (pool size, kill switch) are outside a Schedule's view;
+        consult :meth:`Func.execution_mode` /
+        :meth:`Func.parallel_unsupported_reason` for the full answer.
+        """
         parts = []
         if self.tile_x and self.tile_y:
             parts.append(f"tile({self.tile_x},{self.tile_y})")
         if self.vectorize:
             parts.append("vectorize")
         if self.parallel:
-            parts.append("parallel")
+            if self.tile_x and self.tile_y:
+                parts.append("parallel")
+            else:
+                parts.append("parallel(serial:untiled)")
         if self.fuse_producers:
             parts.append("compute_inline")
         return ".".join(parts) if parts else "root"
@@ -71,7 +92,14 @@ class Schedule:
 
 @dataclass
 class Func:
-    """A lifted Halide function."""
+    """A lifted Halide function.
+
+    A Func owns its variables (innermost first, matching the lifted buffer
+    indexing), a pure expression and/or a reduction update, the input
+    :class:`ImageParam` descriptors recovered by the lifter, and a
+    :class:`Schedule`.  Realize one with :func:`repro.halide.realize`, or
+    serve many requests through :class:`repro.halide.PipelineServer`.
+    """
 
     name: str
     variables: list[IRVar]
@@ -87,25 +115,66 @@ class Func:
         return len(self.variables)
 
     def define(self, value: Expr) -> "Func":
+        """Set the pure definition (the value computed at every point)."""
         self.value = value
         return self
 
     def update(self, rdom: RDom, index_exprs: Sequence[Expr], expr: Expr) -> "Func":
+        """Attach a reduction update over ``rdom`` (histogram-style)."""
         self.reduction = (rdom, list(index_exprs), expr)
         return self
 
     def tile(self, tile_x: int, tile_y: int) -> "Func":
+        """Evaluate in ``tile_x`` x ``tile_y`` blocks (locality + parallel units)."""
         self.schedule.tile_x = tile_x
         self.schedule.tile_y = tile_y
         return self
 
     def vectorize(self, enabled: bool = True) -> "Func":
+        """The NumPy realizer always vectorizes; this records intent."""
         self.schedule.vectorize = enabled
         return self
 
     def parallel(self, enabled: bool = True) -> "Func":
+        """Request tile-parallel execution on the shared worker pool.
+
+        Only effective together with :meth:`tile` on a pure rank>=2 function;
+        otherwise the compiled engine warns once and runs serially (see
+        :meth:`parallel_unsupported_reason`).
+        """
         self.schedule.parallel = enabled
         return self
+
+    def parallel_unsupported_reason(self) -> Optional[str]:
+        """Why ``schedule.parallel`` cannot be honoured, or None if it can.
+
+        Parallel execution distributes the tiles of a pure, rank>=2 tiled
+        loop nest; anything else has no independent decomposition to fan out.
+        """
+        if self.value is None:
+            return "the function has no pure definition to tile"
+        if self.reduction is not None:
+            return "reduction updates serialize on the accumulator"
+        if len(self.variables) < 2:
+            return "parallel tiling needs at least two loop dimensions"
+        if self.schedule.tile_x <= 0 or self.schedule.tile_y <= 0:
+            return "the schedule is untiled (call .tile(tx, ty) first)"
+        return None
+
+    def execution_mode(self) -> str:
+        """The real execution mode of the compiled engine for this Func.
+
+        ``"parallel"`` when tiles will be offered to the worker pool,
+        ``"serial"`` otherwise — not requested, requested but unsupported, or
+        impossible in this environment (single-worker pool, or the
+        ``REPRO_PARALLEL=0`` kill switch).  Per-call outcomes — the cost
+        heuristic can still keep a small realization serial — are tallied in
+        :data:`repro.halide.parallel.execution_stats`.
+        """
+        if self.schedule.parallel and self.parallel_unsupported_reason() is None \
+                and parallel_enabled() and pool_size() >= 2:
+            return "parallel"
+        return "serial"
 
     def __str__(self) -> str:
         vars_text = ", ".join(v.name for v in self.variables)

@@ -184,7 +184,14 @@ class FuncPipeline:
 
     def realize(self, image: np.ndarray, params: Mapping[str, float] | None = None,
                 engine: str | None = None) -> np.ndarray:
-        """Run the pipeline on one image (NumPy outermost-first layout)."""
+        """Run the pipeline on one image (NumPy outermost-first layout).
+
+        Each stage pads its input as the app wrappers do, then realizes its
+        Func through the selected engine (compiled by default); stage
+        schedules — tiling and ``parallel`` — are honoured per stage.  For
+        many images, prefer :meth:`realize_batch`, which overlaps whole
+        requests across the worker pool.
+        """
         current = image
         for stage in self.stages:
             if stage.pad_width is not None:
@@ -197,3 +204,21 @@ class FuncPipeline:
             current = realize(stage.func, shape, {stage.input_name: padded},
                               params, engine=engine)
         return current
+
+    def realize_batch(self, images: Sequence[np.ndarray],
+                      params: Mapping[str, float] | None = None,
+                      engine: str | None = None,
+                      max_pending: int | None = None):
+        """Realize many images through one compiled pipeline, concurrently.
+
+        Compiles every stage once, then fans the images out across the shared
+        worker pool with bounded queueing; returns a
+        :class:`~repro.halide.serve.BatchResult` whose ``outputs`` are in
+        input order.  This is the serving path: per-image results are
+        bit-identical to calling :meth:`realize` in a loop.
+        """
+        from .serve import realize_batch as _realize_batch
+
+        requests = [{"image": image, "params": params} for image in images]
+        return _realize_batch(self, requests, max_pending=max_pending,
+                              engine=engine)

@@ -218,6 +218,11 @@ ENGINES = ("interp", "compiled")
 DEFAULT_ENGINE = os.environ.get("REPRO_REALIZE_ENGINE", "compiled")
 
 
+def get_default_engine() -> str:
+    """The current process-wide default engine (live, not an import snapshot)."""
+    return DEFAULT_ENGINE
+
+
 def set_default_engine(engine: str) -> str:
     """Set the process-wide default engine; returns the previous one."""
     global DEFAULT_ENGINE
@@ -237,7 +242,14 @@ def realize(func: Func, shape: tuple[int, ...], buffers: Mapping[str, np.ndarray
     the order of ``func.variables``); ``buffers`` binds input buffer names to
     NumPy arrays indexed outermost-first.  ``engine`` selects the interpreter
     ("interp") or the cached compiled-kernel backend ("compiled", the
-    default); both are bit-identical.
+    default); both are bit-identical.  The process-wide default engine comes
+    from ``REPRO_REALIZE_ENGINE`` (see :func:`set_default_engine`).
+
+    Under the compiled engine a tiled schedule marked ``parallel`` executes
+    its tiles across the shared worker pool (``REPRO_NUM_THREADS`` sizes it,
+    ``REPRO_PARALLEL=0`` disables it) with bit-identical results; the
+    interpreter ignores schedules entirely.  For many inputs through one
+    function, see :func:`repro.halide.serve.realize_batch`.
     """
     if func.value is None and func.reduction is None:
         raise RealizationError(f"function {func.name} has no definition")

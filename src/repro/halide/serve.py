@@ -1,0 +1,271 @@
+"""Batched realization service: compile once, serve many requests.
+
+The lifted kernels are small relative to the frames they process, so a
+serving workload (many frames/requests through one pipeline) is dominated by
+per-frame NumPy work — exactly the work that releases the GIL.  This module
+provides the throughput layer the ROADMAP asks for:
+
+* :class:`PipelineServer` wraps one compiled target — a
+  :class:`~repro.halide.func.Func` or a
+  :class:`~repro.halide.pipeline.FuncPipeline` — compiles its kernels once up
+  front, and fans incoming requests out across the shared worker pool from
+  :mod:`repro.halide.parallel` with **bounded queueing**: ``submit`` blocks
+  once ``max_pending`` requests are in flight, so an overloaded producer
+  cannot grow the queue without bound.
+* :func:`realize_batch` is the one-shot convenience: hand it a target and a
+  list of requests, get every output plus per-request timing stats back.
+
+Requests running inside pool workers realize their tiles serially (the pool
+never feeds itself; see :func:`repro.halide.parallel.in_worker`), so batch
+parallelism and tile parallelism compose without deadlock: one frame at a
+time uses tile-parallel kernels, many frames at a time parallelize across
+requests instead.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from concurrent.futures import Future
+
+from .compile import compile_func
+from .func import Func
+from .parallel import in_worker, parallel_enabled, pool_size, submit_task
+from .pipeline import FuncPipeline
+from .realize import get_default_engine, realize
+
+
+@dataclass
+class BatchResult:
+    """Outputs and timing of one :func:`realize_batch` call.
+
+    ``outputs`` is in request order; ``request_seconds[i]`` is the busy time
+    of request ``i`` alone (as measured inside its worker), while
+    ``wall_seconds`` is the whole batch end to end — on a multicore pool the
+    sum of ``request_seconds`` exceeds ``wall_seconds`` because requests
+    overlap.
+    """
+
+    outputs: list = field(default_factory=list)
+    request_seconds: list = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def frames_per_second(self) -> float:
+        """Sustained throughput of the batch (requests / wall time)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return len(self.outputs) / self.wall_seconds
+
+
+class PipelineServer:
+    """Serve many realization requests for one Func or FuncPipeline.
+
+    Compiles the target's kernels exactly once at construction (so no request
+    ever pays codegen), then executes each submitted request on the shared
+    worker pool.  Each future resolves to an ``(output, seconds)`` pair —
+    the realized array plus that request's busy time.  Use as a context
+    manager, or call :meth:`close` when done::
+
+        with PipelineServer(pipeline.fused(), max_pending=8) as server:
+            futures = [server.submit(image=frame) for frame in frames]
+            results = [f.result()[0] for f in futures]
+            print(server.stats())
+
+    ``max_pending`` bounds the number of requests admitted but not yet
+    finished; further ``submit`` calls block until a slot frees.  It defaults
+    to twice the pool size — enough to keep every worker busy while the
+    producer prepares the next frame, small enough to bound memory.
+    """
+
+    def __init__(self, target: Func | FuncPipeline, *,
+                 max_pending: int | None = None,
+                 engine: str | None = None) -> None:
+        if not isinstance(target, (Func, FuncPipeline)):
+            raise TypeError(f"cannot serve {type(target).__name__}; "
+                            "expected Func or FuncPipeline")
+        self.target = target
+        self.engine = engine
+        self.max_pending = max_pending if max_pending is not None \
+            else 2 * pool_size()
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        self._slots = threading.BoundedSemaphore(self.max_pending)
+        self._lock = threading.Lock()
+        self._closed = False
+        self._stats = {"submitted": 0, "completed": 0, "failed": 0,
+                       "busy_seconds": 0.0}
+        self._warm_compile()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _warm_compile(self) -> None:
+        """Pay codegen up front so the serving path never compiles."""
+        engine = self.engine if self.engine is not None else get_default_engine()
+        if engine == "interp":
+            return
+        funcs = [self.target] if isinstance(self.target, Func) \
+            else [stage.func for stage in self.target.stages]
+        for func in funcs:
+            compile_func(func)
+
+    def close(self) -> None:
+        """Refuse further submissions (in-flight requests still finish)."""
+        self._closed = True
+
+    def __enter__(self) -> "PipelineServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- serving -------------------------------------------------------------
+
+    def submit(self, *, image: np.ndarray | None = None,
+               shape: tuple[int, ...] | None = None,
+               buffers: Mapping[str, np.ndarray] | None = None,
+               params: Mapping[str, float] | None = None):
+        """Submit one request; the future resolves to ``(output, seconds)``.
+
+        For a :class:`FuncPipeline` target pass ``image`` (and optionally
+        ``params``); for a :class:`Func` target pass ``shape`` and
+        ``buffers`` (and optionally ``params``).  Blocks while ``max_pending``
+        requests are already in flight (bounded queueing).
+
+        A submit issued from inside a pool worker (a served request that
+        itself serves) executes inline instead of queueing: queued behind its
+        own parent it could never run, deadlocking the bounded pool — the
+        same never-feed-yourself policy the tile executor follows.  The
+        ``REPRO_PARALLEL=0`` kill switch also forces inline execution, so it
+        really does serialize the whole stack, serving included.
+        """
+        if self._closed:
+            raise RuntimeError("PipelineServer is closed")
+        task = self._make_task(image=image, shape=shape, buffers=buffers,
+                               params=params)
+        if in_worker() or not parallel_enabled():
+            return self._run_inline(task)
+        self._slots.acquire()
+        with self._lock:
+            self._stats["submitted"] += 1
+        try:
+            future = submit_task(self._run_request, task)
+        except BaseException:
+            self._slots.release()
+            raise
+        future.add_done_callback(self._on_done)
+        return future
+
+    def realize_batch(self, requests: Sequence) -> BatchResult:
+        """Realize every request and collect outputs + timing, in order.
+
+        Each request is a mapping of :meth:`submit` keyword arguments (for a
+        pipeline target, a bare array is also accepted as shorthand for
+        ``{"image": array}``).
+        """
+        wall_start = time.perf_counter()
+        futures = []
+        for request in requests:
+            if isinstance(request, np.ndarray):
+                request = {"image": request}
+            futures.append(self.submit(**request))
+        result = BatchResult()
+        for future in futures:
+            output, seconds = future.result()
+            result.outputs.append(output)
+            result.request_seconds.append(seconds)
+        result.wall_seconds = time.perf_counter() - wall_start
+        return result
+
+    def stats(self) -> dict:
+        """A snapshot of serving counters.
+
+        ``submitted`` / ``completed`` / ``failed`` count requests;
+        ``busy_seconds`` is total per-request busy time (across workers, so
+        it can exceed wall time); ``mean_request_seconds`` averages over
+        completed requests.
+        """
+        with self._lock:
+            snapshot = dict(self._stats)
+        completed = snapshot["completed"]
+        snapshot["mean_request_seconds"] = (
+            snapshot["busy_seconds"] / completed if completed else 0.0)
+        snapshot["max_pending"] = self.max_pending
+        return snapshot
+
+    # -- internals -----------------------------------------------------------
+
+    def _make_task(self, *, image, shape, buffers, params):
+        params = dict(params) if params else {}
+        if isinstance(self.target, FuncPipeline):
+            if image is None:
+                raise ValueError("a FuncPipeline request needs image=...")
+            return lambda: self.target.realize(image, params, engine=self.engine)
+        if shape is None or buffers is None:
+            raise ValueError("a Func request needs shape=... and buffers=...")
+        return lambda: realize(self.target, shape, buffers, params,
+                               engine=self.engine)
+
+    def _run_request(self, task):
+        """Run one request, recording its outcome in the counters.
+
+        The accounting happens here — before the future's result becomes
+        visible — so ``stats()`` read right after ``future.result()`` is
+        never behind (done-callbacks run *after* waiters are released).
+        """
+        start = time.perf_counter()
+        try:
+            output = task()
+        except BaseException:
+            with self._lock:
+                self._stats["failed"] += 1
+            raise
+        seconds = time.perf_counter() - start
+        with self._lock:
+            self._stats["completed"] += 1
+            self._stats["busy_seconds"] += seconds
+        return output, seconds
+
+    def _run_inline(self, task) -> Future:
+        """Execute immediately on the calling (worker) thread.
+
+        Bypasses the pending-slot semaphore — an inline request occupies no
+        queue slot, and blocking a worker on admission could deadlock against
+        the very requests holding the slots.
+        """
+        future: Future = Future()
+        with self._lock:
+            self._stats["submitted"] += 1
+        try:
+            result = self._run_request(task)
+        except BaseException as exc:
+            future.set_exception(exc)
+        else:
+            future.set_result(result)
+        return future
+
+    def _on_done(self, future) -> None:
+        self._slots.release()
+        if future.cancelled():
+            # A cancelled request never ran _run_request, so count it here.
+            with self._lock:
+                self._stats["failed"] += 1
+
+
+def realize_batch(target: Func | FuncPipeline, requests: Sequence, *,
+                  max_pending: int | None = None,
+                  engine: str | None = None) -> BatchResult:
+    """Compile ``target`` once and realize every request across the pool.
+
+    The one-shot form of :class:`PipelineServer` — see its docs for the
+    request format.  Returns a :class:`BatchResult` with outputs in request
+    order, per-request busy times and the batch's sustained frames/sec.
+    """
+    with PipelineServer(target, max_pending=max_pending,
+                        engine=engine) as server:
+        return server.realize_batch(requests)

@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.halide import FusedPipeline, Func, Var, autotune, realize
+from repro.halide import (FusedPipeline, Func, Var, autotune, configure_pool,
+                          execution_stats, realize, reset_execution_stats)
 from repro.ir import BinOp, BufferAccess, Cast, Const, Op, UINT8, UINT32
 
 
@@ -41,6 +42,31 @@ class TestAutotune:
         autotune(func, (32, 16), {"input_1": padded}, iterations=3, seed=2)
         after = realize(func, (32, 16), {"input_1": padded})
         np.testing.assert_array_equal(before, after)
+
+    def test_parallel_candidates_are_tiled_and_honest(self):
+        """Sampled parallel schedules carry tiles (so the engine can honour
+        them) and describe() never advertises parallelism that cannot run."""
+        configure_pool(4)
+        try:
+            rng = np.random.default_rng(4)
+            padded = rng.integers(0, 256, size=(34, 66), dtype=np.uint8)
+            func = blur_func()
+            reset_execution_stats()
+            result = autotune(func, (64, 32), {"input_1": padded},
+                              iterations=8, seed=5)
+            parallel_candidates = [schedule for schedule, _ in result.history
+                                   if schedule.parallel]
+            assert parallel_candidates, "no parallel candidate sampled"
+            for schedule in parallel_candidates:
+                assert schedule.tile_x > 0 and schedule.tile_y > 0
+                assert "parallel" in schedule.describe()
+                assert "serial" not in schedule.describe()
+            # Every parallel-requested realization was really routed through
+            # the tile executor and tallied (64x32 is below the fan-out
+            # threshold, so the honest record is serial execution).
+            assert execution_stats["serial"] + execution_stats["parallel"] > 0
+        finally:
+            configure_pool()
 
 
 class TestFusedPipeline:

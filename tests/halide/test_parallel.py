@@ -1,0 +1,248 @@
+"""Multicore tile executor: bit-identity, stats, fallbacks, cache safety.
+
+The parallel engine must be a pure throughput change: every tiled kernel
+produces bit-identical output whether its tiles run serially or across the
+worker pool, the recorded execution mode must match what actually ran, and
+schedules that cannot be honoured must say so instead of silently serializing.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.halide import (
+    Func,
+    ParallelFallbackWarning,
+    RDom,
+    Schedule,
+    Var,
+    clear_kernel_cache,
+    compile_func,
+    configure_pool,
+    execution_stats,
+    kernel_cache_stats,
+    realize,
+    realize_interp,
+    reset_execution_stats,
+)
+from repro.halide import parallel as parallel_mod
+from repro.ir import BinOp, BufferAccess, Cast, Const, Op, UINT8, UINT32
+
+
+@pytest.fixture
+def multicore(monkeypatch):
+    """Force a 4-worker pool and a tiny fan-out threshold for small images."""
+    monkeypatch.setattr(parallel_mod, "MIN_PARALLEL_ELEMS", 1)
+    configure_pool(4)
+    reset_execution_stats()
+    yield
+    configure_pool()
+
+
+def blur_func() -> Func:
+    x, y = Var("x_0"), Var("x_1")
+    expr = Cast(UINT8, BinOp(Op.SHR, BinOp(
+        Op.ADD,
+        Cast(UINT32, BufferAccess("input_1", [x, BinOp(Op.ADD, y, Const(1))], UINT8)),
+        Cast(UINT32, BufferAccess("input_1", [BinOp(Op.ADD, x, Const(2)),
+                                              BinOp(Op.ADD, y, Const(1))], UINT8)),
+        UINT32), Const(1, UINT32)))
+    return Func("blur", [x, y], dtype=UINT8).define(expr)
+
+
+class TestParallelBitIdentity:
+    def test_parallel_matches_serial_and_interp(self, multicore):
+        rng = np.random.default_rng(0)
+        padded = rng.integers(0, 256, size=(130, 258), dtype=np.uint8)
+        serial = blur_func().tile(32, 16)
+        parallel = blur_func().tile(32, 16).parallel()
+        serial_out = realize(serial, (256, 128), {"input_1": padded})
+        parallel_out = realize(parallel, (256, 128), {"input_1": padded})
+        interp_out = realize_interp(serial, (256, 128), {"input_1": padded})
+        np.testing.assert_array_equal(serial_out, parallel_out)
+        np.testing.assert_array_equal(interp_out, parallel_out)
+        assert execution_stats["parallel"] >= 1
+        assert execution_stats["tiles_parallel"] >= 2
+
+    def test_ragged_tiles_match(self, multicore):
+        # Extents that do not divide the tile size exercise edge tiles.
+        rng = np.random.default_rng(1)
+        padded = rng.integers(0, 256, size=(61, 103), dtype=np.uint8)
+        parallel = blur_func().tile(32, 16).parallel()
+        out = realize(parallel, (101, 59), {"input_1": padded})
+        oracle = realize_interp(parallel, (101, 59), {"input_1": padded})
+        np.testing.assert_array_equal(out, oracle)
+
+
+class TestLiftedKernelsParallel:
+    """Every lifted app kernel is bit-identical under the parallel engine.
+
+    Reuses the differential harness: the interpreter (which ignores
+    schedules) is the oracle; the compiled engine runs with every Func
+    rescheduled to parallel tiles.
+    """
+
+    PS_FILTERS = ["invert", "blur", "blur_more", "sharpen", "sharpen_more",
+                  "threshold", "box_blur", "brightness"]
+    IV_FILTERS = ["invert", "solarize", "blur", "sharpen"]
+
+    @staticmethod
+    def _parallel_schedules(result):
+        saved = {name: func.schedule for name, func in result.funcs.items()}
+        for func in result.funcs.values():
+            func.schedule = Schedule(tile_x=16, tile_y=16, parallel=True)
+        return saved
+
+    @staticmethod
+    def _restore_schedules(result, saved):
+        for name, schedule in saved.items():
+            result.funcs[name].schedule = schedule
+
+    @pytest.mark.parametrize("filter_name", PS_FILTERS)
+    def test_photoshop_filters(self, multicore, filter_name):
+        from repro.rejuvenation import apply_lifted_photoshop, lift_photoshop_filter
+        from repro.apps.images import make_test_planes
+
+        result = lift_photoshop_filter(filter_name)
+        planes = make_test_planes(96, 64, seed=21)
+        params = {"threshold": 128, "brightness": 40}
+        interp = apply_lifted_photoshop(result, filter_name, planes, params,
+                                        engine="interp")
+        saved = self._parallel_schedules(result)
+        try:
+            parallel = apply_lifted_photoshop(result, filter_name, planes,
+                                              params, engine="compiled")
+        finally:
+            self._restore_schedules(result, saved)
+        for channel in parallel:
+            np.testing.assert_array_equal(parallel[channel], interp[channel])
+
+    @pytest.mark.parametrize("filter_name", IV_FILTERS)
+    def test_irfanview_filters(self, multicore, filter_name):
+        from repro.rejuvenation import apply_lifted_irfanview, lift_irfanview_filter
+        from repro.apps.images import make_test_planes
+
+        result = lift_irfanview_filter(filter_name)
+        planes = make_test_planes(80, 56, seed=22)
+        image = np.stack([planes["r"], planes["g"], planes["b"]], axis=-1)
+        interp = apply_lifted_irfanview(result, filter_name, image,
+                                        engine="interp")
+        saved = self._parallel_schedules(result)
+        try:
+            parallel = apply_lifted_irfanview(result, filter_name, image,
+                                              engine="compiled")
+        finally:
+            self._restore_schedules(result, saved)
+        np.testing.assert_array_equal(parallel, interp)
+
+    def test_minigmg_smooth(self, multicore):
+        from repro.rejuvenation import apply_lifted_minigmg, lift_minigmg_smooth
+
+        result = lift_minigmg_smooth()
+        grid = np.random.default_rng(23).random((6, 7, 8))
+        interp = apply_lifted_minigmg(result, grid, iterations=2,
+                                      engine="interp")
+        saved = self._parallel_schedules(result)
+        try:
+            parallel = apply_lifted_minigmg(result, grid, iterations=2,
+                                            engine="compiled")
+        finally:
+            self._restore_schedules(result, saved)
+        np.testing.assert_array_equal(parallel, interp)
+
+
+class TestExecutionModeReporting:
+    def test_describe_reflects_real_mode(self):
+        tiled = Schedule(tile_x=32, tile_y=32, parallel=True)
+        assert "parallel" in tiled.describe()
+        assert "serial" not in tiled.describe()
+        untiled = Schedule(parallel=True)
+        assert "parallel(serial:untiled)" in untiled.describe()
+
+    def test_func_execution_mode(self, multicore):
+        parallel = blur_func().tile(32, 32).parallel()
+        assert parallel.execution_mode() == "parallel"
+        assert parallel.parallel_unsupported_reason() is None
+        untiled = blur_func().parallel()
+        assert untiled.execution_mode() == "serial"
+        assert "untiled" in untiled.parallel_unsupported_reason()
+        plain = blur_func().tile(32, 32)
+        assert plain.execution_mode() == "serial"
+
+    def test_execution_mode_honest_about_environment(self, monkeypatch):
+        # A supported parallel schedule still reports serial when the
+        # environment cannot parallelize: single-worker pool or kill switch.
+        func = blur_func().tile(32, 32).parallel()
+        configure_pool(1)
+        assert func.execution_mode() == "serial"
+        configure_pool(4)
+        assert func.execution_mode() == "parallel"
+        monkeypatch.setenv("REPRO_PARALLEL", "0")
+        assert func.execution_mode() == "serial"
+        monkeypatch.setenv("REPRO_PARALLEL", "False")
+        assert func.execution_mode() == "serial"
+        configure_pool()
+
+    def test_reduction_cannot_parallelize(self):
+        x = Var("x_0")
+        func = Func("hist", [x], dtype=UINT32).define(Const(0, UINT32))
+        rdom = RDom("r_0", source="input_1", dimensions=2)
+        index = BufferAccess("input_1", [Var("r_0"), Var("r_1")], UINT8)
+        update = BinOp(Op.ADD, BufferAccess("hist", [index], UINT32),
+                       Const(1, UINT32))
+        func.update(rdom, [index], update)
+        func.schedule = Schedule(tile_x=8, tile_y=8, parallel=True)
+        assert "reduction" in func.parallel_unsupported_reason()
+        assert func.execution_mode() == "serial"
+
+    def test_untiled_parallel_warns_once(self, multicore):
+        clear_kernel_cache()
+        func = blur_func().parallel()
+        rng = np.random.default_rng(2)
+        padded = rng.integers(0, 256, size=(18, 34), dtype=np.uint8)
+        with pytest.warns(ParallelFallbackWarning, match="untiled"):
+            realize(func, (32, 16), {"input_1": padded})
+        # The cached kernel does not warn again on later realizations.
+        import warnings as _warnings
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", ParallelFallbackWarning)
+            realize(func, (32, 16), {"input_1": padded})
+
+    def test_stats_count_serial_fallback_of_small_outputs(self):
+        # Without the tiny-threshold fixture, a small parallel realization is
+        # kept serial by the cost heuristic and recorded as such.
+        configure_pool(4)
+        reset_execution_stats()
+        func = blur_func().tile(8, 8).parallel()
+        rng = np.random.default_rng(3)
+        padded = rng.integers(0, 256, size=(18, 34), dtype=np.uint8)
+        realize(func, (32, 16), {"input_1": padded})
+        assert execution_stats["serial"] == 1
+        assert execution_stats["parallel"] == 0
+        configure_pool()
+
+
+class TestKernelCacheConcurrency:
+    def test_concurrent_compiles_count_one_miss(self, multicore):
+        clear_kernel_cache()
+        func = blur_func().tile(16, 16).parallel()
+        threads = 8
+        barrier = threading.Barrier(threads)
+        errors = []
+
+        def race():
+            try:
+                barrier.wait()
+                compile_func(func)
+            except Exception as exc:          # pragma: no cover
+                errors.append(exc)
+
+        workers = [threading.Thread(target=race) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert not errors
+        assert kernel_cache_stats["misses"] == 1
+        assert kernel_cache_stats["hits"] == threads - 1
