@@ -1,0 +1,75 @@
+"""Cold-vs-warm lift through the artifact store (the staged pipeline's payoff).
+
+A cold lift pays the paper's instrumented workflow (two coverage runs, the
+profile+memtrace screen, the detailed trace) plus all analyses; a warm lift
+deserializes the eight stage artifacts instead.  The acceptance bar for the
+store is structural *and* quantitative: zero instrumented runs on the warm
+path, and at least a 10x wall-clock speedup.  Both sides are recorded in
+``BENCH_results.json`` under ``lift_cache/*``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.apps.base import app_run_count
+from repro.apps.registry import get_scenario
+from repro.core.session import LiftSession
+from repro.store import ArtifactStore
+
+from conftest import print_table, record_bench
+
+SCENARIO = ("photoshop", "blur")
+
+
+def timed_lift(store: ArtifactStore) -> tuple[float, int, "LiftSession"]:
+    """One full staged lift; returns (seconds, instrumented_runs, session)."""
+    app_name, filter_name = SCENARIO
+    scenario = get_scenario(app_name, filter_name)
+    session = LiftSession(scenario.make_app(), filter_name,
+                          seed=scenario.seed, store=store)
+    runs_before = app_run_count()
+    start = time.perf_counter()
+    session.run()
+    return time.perf_counter() - start, app_run_count() - runs_before, session
+
+
+def test_lift_cache_cold_vs_warm(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+
+    cold_seconds, cold_runs, cold_session = timed_lift(store)
+    assert cold_runs == 4, "a cold lift performs the full instrumented workflow"
+
+    # Best-of-3 warm lifts: each is a fresh session against the same store.
+    warm_samples = []
+    for _ in range(3):
+        warm_seconds, warm_runs, warm_session = timed_lift(store)
+        assert warm_runs == 0, "a warm lift must not run the application"
+        assert all(r.source == "hit" for r in warm_session.explain())
+        warm_samples.append(warm_seconds)
+    warm_seconds = min(warm_samples)
+
+    speedup = cold_seconds / warm_seconds
+    print_table(
+        f"Artifact-store lift cache ({'/'.join(SCENARIO)})",
+        ["path", "seconds", "instrumented runs", "speedup"],
+        [["cold", f"{cold_seconds:.4f}", cold_runs, "1.0x"],
+         ["warm", f"{warm_seconds:.4f}", 0, f"{speedup:.1f}x"]])
+    record_bench("lift_cache/cold", cold_seconds, engine="staged",
+                 instrumented_runs=cold_runs)
+    record_bench("lift_cache/warm", warm_seconds, engine="staged",
+                 instrumented_runs=0, speedup_vs_cold=round(speedup, 2))
+
+    assert speedup >= 10.0, (
+        f"warm lift only {speedup:.1f}x faster than cold "
+        f"({warm_seconds:.4f}s vs {cold_seconds:.4f}s)")
+
+
+def test_warm_lift_is_semantically_identical(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    app_name, filter_name = SCENARIO
+    scenario = get_scenario(app_name, filter_name)
+    cold = LiftSession(scenario.make_app(), filter_name, store=store).run()
+    warm = LiftSession(scenario.make_app(), filter_name, store=store).run()
+    assert warm.halide_sources == cold.halide_sources
+    assert all(warm.validate().values())

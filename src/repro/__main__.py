@@ -1,0 +1,267 @@
+"""``python -m repro`` — lift, run, serve and inspect from the command line.
+
+Subcommands::
+
+    python -m repro apps                      # list registered scenarios
+    python -m repro lift photoshop blur       # staged lift (store-backed)
+    python -m repro run photoshop blur        # lift + apply to a big image
+    python -m repro serve photoshop blur      # lift + serve a frame batch
+    python -m repro cache stats|list|clear    # inspect the artifact store
+
+``lift`` prints the per-stage provenance (store hit vs computed, seconds,
+instrumented runs) so the effect of the artifact store is visible: the second
+invocation of the same scenario reports eight hits and zero runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+
+def _store_from_args(args) -> "ArtifactStore | None":
+    from .store import ArtifactStore
+
+    if getattr(args, "no_store", False):
+        return None
+    if getattr(args, "store", None):
+        return ArtifactStore(args.store)
+    return ArtifactStore()
+
+
+def _session_from_args(args) -> "LiftSession":
+    from .apps.registry import get_scenario
+    from .core.session import LiftSession
+
+    scenario = get_scenario(args.app, args.filter)
+    store = _store_from_args(args)
+    seed = scenario.seed if args.seed is None else args.seed
+    return LiftSession(scenario.make_app(), args.filter, seed=seed,
+                       store=store, use_store=store is not None)
+
+
+def _print_table(headers: list[str], rows: list[tuple]) -> None:
+    widths = [max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+              if rows else len(str(headers[i])) for i in range(len(headers))]
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def _frames_for(app_name: str, width: int, height: int, count: int,
+                seed: int = 42) -> list[np.ndarray]:
+    """Synthetic full-size frames in the app's native layout.
+
+    For miniGMG, ``--width``/``--height`` become the grid's nx/ny (with a
+    fixed nz of 16 and one ghost cell per face); the image apps get
+    ``height x width`` frames.
+    """
+    rng = np.random.default_rng(seed)
+    frames = []
+    for _ in range(count):
+        if app_name == "minigmg":
+            frames.append(rng.uniform(-1.0, 1.0,
+                                      size=(18, height + 2, width + 2)))
+        elif app_name == "irfanview":
+            frames.append(rng.integers(0, 256, size=(height, width, 3),
+                                       dtype=np.uint8))
+        else:
+            frames.append(rng.integers(0, 256, size=(height, width),
+                                       dtype=np.uint8))
+    return frames
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+
+def cmd_apps(args) -> int:
+    from .apps.registry import scenarios
+
+    rows = [(s.app_name, s.filter_name, ",".join(s.tags), s.description)
+            for s in scenarios(tag=args.tag)]
+    _print_table(["app", "filter", "tags", "description"], rows)
+    return 0
+
+
+def cmd_lift(args) -> int:
+    session = _session_from_args(args)
+    start = time.perf_counter()
+    result = session.run()
+    seconds = time.perf_counter() - start
+    print(f"lifted {args.app}/{args.filter} in {seconds:.3f}s "
+          f"({len(result.kernels)} kernel(s))")
+    _print_table(["stage", "source", "seconds", "runs", "key"],
+                 [report.as_row() for report in session.explain()])
+    from .core.stages import STAGES
+
+    stats = session.stats()
+    print(f"store hits: {stats['hits']}/{len(STAGES)}, instrumented runs: "
+          f"{stats['instrumented_runs']}")
+    for warning in result.warnings:
+        print(f"warning: {warning}")
+    if args.validate:
+        verdict = result.validate()
+        print("validation:", ", ".join(f"{k}={'ok' if v else 'FAIL'}"
+                                       for k, v in sorted(verdict.items())))
+        if not all(verdict.values()):
+            return 1
+    if args.cpp:
+        for name, source in sorted(result.halide_sources.items()):
+            print(f"\n// ---- {name} ----")
+            print(source, end="")
+    return 0
+
+
+def cmd_run(args) -> int:
+    from .rejuvenation import (
+        apply_lifted_irfanview,
+        apply_lifted_minigmg,
+        apply_lifted_photoshop,
+    )
+
+    session = _session_from_args(args)
+    result = session.run()
+    frame = _frames_for(args.app, args.width, args.height, 1)[0]
+    start = time.perf_counter()
+    if args.app == "photoshop":
+        planes = {channel: frame for channel in ("r", "g", "b")}
+        output = apply_lifted_photoshop(result, args.filter, planes,
+                                        engine=args.engine)["r"]
+    elif args.app == "irfanview":
+        output = apply_lifted_irfanview(result, args.filter, frame,
+                                        engine=args.engine)
+    else:
+        output = apply_lifted_minigmg(result, frame, iterations=1,
+                                      engine=args.engine)
+    seconds = time.perf_counter() - start
+    print(f"ran lifted {args.app}/{args.filter} on "
+          f"{'x'.join(str(s) for s in frame.shape)} in {seconds:.4f}s; "
+          f"output shape {'x'.join(str(s) for s in np.asarray(output).shape)}, "
+          f"checksum {int(np.asarray(output, dtype=np.float64).sum()) & 0xFFFFFFFF:#010x}")
+    print(f"instrumented runs this invocation: "
+          f"{session.stats()['instrumented_runs']}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from .rejuvenation.serving import serve_lifted
+
+    session = _session_from_args(args)
+    result = session.run()
+    frames = _frames_for(args.app, args.width, args.height, args.frames)
+    batch = serve_lifted(result, frames, engine=args.engine)
+    print(f"served {len(batch.outputs)} frame(s) of {args.app}/{args.filter} "
+          f"in {batch.wall_seconds:.4f}s "
+          f"({batch.frames_per_second:.1f} frames/s)")
+    busy = sum(batch.request_seconds)
+    print(f"busy {busy:.4f}s across workers, "
+          f"mean {busy / max(len(batch.outputs), 1):.4f}s/frame, "
+          f"instrumented runs: {session.stats()['instrumented_runs']}")
+    return 0
+
+
+def cmd_cache(args) -> int:
+    from .store import ArtifactStore
+
+    store = ArtifactStore(args.store) if args.store else ArtifactStore()
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} artifact(s) from {store.root}")
+        return 0
+    entries = store.entries()
+    if args.action == "list":
+        rows = [(m["stage"], m["digest"][:12],
+                 m["key"].get("app", {}).get("app", "?"),
+                 m["key"].get("filter", "?"), m["key"].get("seed", "?"),
+                 m["size_bytes"]) for m in entries]
+        _print_table(["stage", "key", "app", "filter", "seed", "bytes"], rows)
+        return 0
+    by_stage: dict[str, int] = {}
+    for manifest in entries:
+        by_stage[manifest["stage"]] = by_stage.get(manifest["stage"], 0) + 1
+    print(f"store: {store.root}")
+    print(f"artifacts: {len(entries)} ({store.size_bytes()} bytes)")
+    for stage, count in sorted(by_stage.items()):
+        print(f"  {stage}: {count}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Argument parsing
+# ---------------------------------------------------------------------------
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("app", help="application name (see `repro apps`)")
+    parser.add_argument("filter", help="filter name (see `repro apps`)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="lift seed (default: the scenario's)")
+    parser.add_argument("--store", default=None,
+                        help="artifact store directory (default: "
+                             "$REPRO_STORE_DIR or ./.repro_store)")
+    parser.add_argument("--no-store", action="store_true",
+                        help="force a cold lift, bypassing the store")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Lift, run and serve kernels from the simulated legacy apps.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    apps = commands.add_parser("apps", help="list registered (app, filter) scenarios")
+    apps.add_argument("--tag", default=None, help="only scenarios with this tag")
+    apps.set_defaults(fn=cmd_apps)
+
+    lift = commands.add_parser("lift", help="staged lift with per-stage provenance")
+    _add_scenario_args(lift)
+    lift.add_argument("--validate", action="store_true",
+                      help="replay the lifted kernels against the traced run")
+    lift.add_argument("--cpp", action="store_true",
+                      help="print the generated Halide C++ sources")
+    lift.set_defaults(fn=cmd_lift)
+
+    run = commands.add_parser("run", help="lift (or load) and apply to one frame")
+    _add_scenario_args(run)
+    run.add_argument("--width", type=int, default=640)
+    run.add_argument("--height", type=int, default=480)
+    run.add_argument("--engine", default=None, choices=("compiled", "interp"))
+    run.set_defaults(fn=cmd_run)
+
+    serve = commands.add_parser(
+        "serve", help="lift (or load) and serve a batch through PipelineServer")
+    _add_scenario_args(serve)
+    serve.add_argument("--frames", type=int, default=8)
+    serve.add_argument("--width", type=int, default=640)
+    serve.add_argument("--height", type=int, default=480)
+    serve.add_argument("--engine", default=None, choices=("compiled", "interp"))
+    serve.set_defaults(fn=cmd_serve)
+
+    cache = commands.add_parser("cache", help="inspect or clear the artifact store")
+    cache.add_argument("action", nargs="?", default="stats",
+                       choices=("stats", "list", "clear"))
+    cache.add_argument("--store", default=None)
+    cache.set_defaults(fn=cmd_cache)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited early; not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

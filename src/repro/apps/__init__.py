@@ -1,6 +1,6 @@
 """Simulated legacy applications whose kernels Helium lifts."""
 
-from .base import Application, AppRunResult, KnownData, KnownDataArray
+from .base import Application, AppRunResult, KnownData, KnownDataArray, app_run_count
 from .images import (
     InterleavedBuffer,
     InterleavedLayout,
@@ -14,10 +14,20 @@ from .images import (
 from .irfanview import IrfanViewApp
 from .minigmg import MiniGMGApp
 from .photoshop import FULLY_LIFTED, PARTIALLY_LIFTED, PhotoshopApp
+from .registry import (
+    Scenario,
+    UnknownScenarioError,
+    app_names,
+    get_scenario,
+    register,
+    scenarios,
+)
 
 __all__ = [
-    "Application", "AppRunResult", "KnownData", "KnownDataArray",
+    "Application", "AppRunResult", "KnownData", "KnownDataArray", "app_run_count",
     "InterleavedBuffer", "InterleavedLayout", "PlanarLayout", "PlaneBuffer",
     "interleave", "make_gradient_planes", "make_test_planes", "pad_plane",
     "IrfanViewApp", "MiniGMGApp", "PhotoshopApp", "FULLY_LIFTED", "PARTIALLY_LIFTED",
+    "Scenario", "UnknownScenarioError", "app_names", "get_scenario",
+    "register", "scenarios",
 ]

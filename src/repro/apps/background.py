@@ -99,10 +99,19 @@ bg_table_init__done:
 """
 
 
-def run_background_work(emulator, memory) -> None:
-    """Execute the background routines every application run performs."""
+def run_background_work(emulator, memory, seed: int = 0) -> None:
+    """Execute the background routines every application run performs.
+
+    ``seed`` varies the scratch-buffer contents (but never the control flow:
+    the routines' loop counts are length-driven), standing in for the
+    run-to-run environment noise of a real process.  Propagating the lift
+    seed here makes repeated (app, filter, seed) runs bit-identical while
+    giving distinct seeds genuinely distinct traces — exactly what the
+    artifact store's keys require.
+    """
     scratch = memory.alloc(512, name="bg_scratch")
-    memory.write_bytes(scratch, bytes((i * 37 + 11) & 0xFF for i in range(512)))
+    memory.write_bytes(scratch, bytes((i * 37 + 11 + seed * 131) & 0xFF
+                                      for i in range(512)))
     emulator.call_function("bg_feature_detect", [])
     emulator.call_function("bg_table_init", [scratch + 256, 128])
     emulator.call_function("bg_checksum", [scratch, 192])

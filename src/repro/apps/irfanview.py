@@ -66,11 +66,17 @@ class IrfanViewApp(Application):
     def data_size_estimate(self, filter_name: str) -> int:
         return self.width * self.height * 3
 
+    def fingerprint(self) -> dict:
+        from .base import data_digest
+
+        return {"app": self.name, "width": self.width, "height": self.height,
+                "data": data_digest(*(self.planes[c] for c in sorted(self.planes)))}
+
     def run(self, filter_name: Optional[str] = None, tools: Sequence = (),
-            intercept_cpuid: bool = True) -> AppRunResult:
+            intercept_cpuid: bool = True, seed: int = 0) -> AppRunResult:
         emulator = self._new_emulator(tools, intercept_cpuid)
         memory = emulator.memory
-        run_background_work(emulator, memory)
+        run_background_work(emulator, memory, seed)
         layout = InterleavedLayout.create(memory, self.planes)
         if filter_name is not None:
             self._dispatch(emulator, memory, layout, filter_name)

@@ -92,11 +92,17 @@ class MiniGMGApp(Application):
                            nx=self.nx, ny=self.ny, nz=self.nz,
                            jstride=jstride, kstride=kstride)
 
+    def fingerprint(self) -> dict:
+        from .base import data_digest
+
+        return {"app": self.name, "nx": self.nx, "ny": self.ny, "nz": self.nz,
+                "data": data_digest(self.grid)}
+
     def run(self, filter_name: Optional[str] = None, tools: Sequence = (),
-            intercept_cpuid: bool = True) -> AppRunResult:
+            intercept_cpuid: bool = True, seed: int = 0) -> AppRunResult:
         emulator = self._new_emulator(tools, intercept_cpuid)
         memory = emulator.memory
-        run_background_work(emulator, memory)
+        run_background_work(emulator, memory, seed)
         grids = self._write_grid(memory)
         if filter_name is not None:
             coeffs = SMOOTH_SPEC.coefficient_block()

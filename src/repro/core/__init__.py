@@ -6,6 +6,19 @@ from .forward import ForwardAnalysis, forward_analyze
 from .localization import LocalizationError, LocalizationResult, localize
 from .pipeline import HeliumLifter, LiftResult, lift_filter
 from .regions import AccessSample, MemoryRegion, reconstruct_regions
+from .session import LiftSession, StageReport, lift_scenario
+from .stages import (
+    STAGES,
+    STAGE_VERSIONS,
+    BufferArtifact,
+    CodegenArtifact,
+    CoverageArtifact,
+    ForwardArtifact,
+    ScreenArtifact,
+    TraceArtifact,
+    TraceRunSnapshot,
+    TreeArtifact,
+)
 from .symbolic import (
     AbstractTree,
     SymbolicLiftError,
@@ -23,6 +36,10 @@ __all__ = [
     "ForwardAnalysis", "forward_analyze",
     "LocalizationError", "LocalizationResult", "localize",
     "HeliumLifter", "LiftResult", "lift_filter",
+    "LiftSession", "StageReport", "lift_scenario",
+    "STAGES", "STAGE_VERSIONS",
+    "BufferArtifact", "CodegenArtifact", "CoverageArtifact", "ForwardArtifact",
+    "ScreenArtifact", "TraceArtifact", "TraceRunSnapshot", "TreeArtifact",
     "AccessSample", "MemoryRegion", "reconstruct_regions",
     "AbstractTree", "SymbolicLiftError", "SymbolicTree", "TreeCluster",
     "abstract_tree", "cluster_trees", "lift_cluster",

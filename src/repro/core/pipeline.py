@@ -1,47 +1,52 @@
 """The end-to-end Helium lifter.
 
-Drives the five program runs of the paper's workflow (Figure 1): two coverage
+Drives the program runs of the paper's workflow (Figure 1): two coverage
 runs for differencing, one profiling + memory-trace run over the surviving
 blocks, and one detailed instruction-trace run of the selected filter
 function; then runs expression extraction and code generation, producing both
 Halide C++ source text and executable mini-Halide functions, plus a validator
 that replays the lifted kernels against the original run's memory.
+
+The individual stages live in :mod:`repro.core.stages` (each producing a
+typed, serializable artifact); :class:`HeliumLifter` is the always-cold
+driver over those stage functions, and :class:`~repro.core.session.LiftSession`
+is the store-backed driver that can skip any already-computed stage.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 
-from ..apps.base import Application, AppRunResult
-from ..dynamo import (
-    CoverageTool,
-    InstructionTraceTool,
-    MemoryTraceTool,
-    ProfileTool,
-)
+from ..apps.base import Application
 from ..dynamo.records import InstructionTrace
 from ..halide.func import Func
-from ..ir import BufferAccess
-from .buffers import BufferSpec, infer_buffer_generic, infer_buffer_with_known_data
-from .codegen import LiftedKernel, generate_funcs, generate_halide_cpp
-from .forward import ForwardAnalysis, forward_analyze
-from .localization import (
-    LocalizationResult,
-    find_candidate_regions,
-    is_stack_address,
-    localize,
+from .buffers import BufferSpec
+from .codegen import LiftedKernel, generate_funcs
+from .forward import ForwardAnalysis
+from .localization import LocalizationResult
+from .stages import (
+    TraceRunSnapshot,
+    run_buffers_stage,
+    run_codegen_stage,
+    run_coverage_stage,
+    run_forward_stage,
+    run_localize_stage,
+    run_screen_stage,
+    run_trace_stage,
+    run_trees_stage,
 )
-from .regions import MemoryRegion, reconstruct_regions, region_containing, samples_from_itrace
-from .symbolic import SymbolicLiftError, abstract_tree, cluster_trees, lift_cluster
-from .trees import BufferEntry, BufferMap, ConcreteTree, TreeBuilder
 
 
 @dataclass
 class LiftResult:
-    """Everything Helium produced for one filter."""
+    """Everything Helium produced for one filter.
+
+    Serializes through :mod:`repro.store` — the executable ``funcs`` are
+    rebuilt from the kernels on deserialization rather than persisted, so a
+    loaded result always carries pristine schedules.
+    """
 
     app_name: str
     filter_name: str
@@ -49,12 +54,24 @@ class LiftResult:
     trace: InstructionTrace
     forward: ForwardAnalysis
     buffer_specs: dict[str, BufferSpec]
-    concrete_trees: list[ConcreteTree]
+    concrete_trees: list
     kernels: list[LiftedKernel]
     funcs: dict[str, Func]
     halide_sources: dict[str, str]
-    trace_run: AppRunResult
+    trace_run: TraceRunSnapshot
     warnings: list[str] = field(default_factory=list)
+
+    # -- serialization -------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("funcs", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.funcs = {kernel.output: generate_funcs(kernel)
+                      for kernel in self.kernels}
 
     # -- statistics (the paper's Figure 6 row) -------------------------------
 
@@ -107,7 +124,11 @@ class LiftResult:
 
 
 class HeliumLifter:
-    """Runs the full Helium workflow against one application filter."""
+    """Runs the full Helium workflow against one application filter.
+
+    Always cold: every call performs all instrumented runs.  For cached,
+    resumable lifts use :class:`~repro.core.session.LiftSession`.
+    """
 
     def __init__(self, app: Application, filter_name: str, seed: int = 0) -> None:
         self.app = app
@@ -118,121 +139,32 @@ class HeliumLifter:
     # -- stage 1: code localization -------------------------------------------
 
     def run_localization(self) -> LocalizationResult:
-        coverage_with_tool = CoverageTool()
-        self.app.run(self.filter_name, tools=[coverage_with_tool])
-        coverage_without_tool = CoverageTool()
-        self.app.run(None, tools=[coverage_without_tool])
-        diff = coverage_with_tool.blocks - coverage_without_tool.blocks
-
-        profile_tool = ProfileTool(instrumented_blocks=diff)
-        memtrace_tool = MemoryTraceTool(instrumented_blocks=diff)
-        self.app.run(self.filter_name, tools=[profile_tool, memtrace_tool])
-
-        result = localize(coverage_with_tool.blocks, coverage_without_tool.blocks,
-                          profile_tool.profile, memtrace_tool.records,
-                          self.app.data_size_estimate(self.filter_name))
-        result.static_instruction_count = self._static_instruction_count(result)
-        return result
-
-    def _static_instruction_count(self, localization: LocalizationResult) -> int:
-        program = self.app.program
-        count = 0
-        addresses = sorted(program.instruction_at)
-        for block in sorted(localization.filter_function_blocks):
-            if block not in program.instruction_at:
-                continue
-            address = block
-            while address in program.instruction_at:
-                count += 1
-                if program.instruction_at[address].is_block_terminator:
-                    break
-                address += 4
-        return count
+        coverage = run_coverage_stage(self.app, self.filter_name, self.seed)
+        screen = run_screen_stage(self.app, self.filter_name, coverage, self.seed)
+        return run_localize_stage(self.app, coverage, screen)
 
     # -- stage 2: expression extraction ------------------------------------------
 
     def run_trace_capture(self, localization: LocalizationResult
-                          ) -> tuple[InstructionTrace, AppRunResult]:
-        tracer = InstructionTraceTool(entry_address=localization.filter_function,
-                                      candidate_instructions=localization.candidate_instructions)
-        run = self.app.run(self.filter_name, tools=[tracer])
-        return tracer.trace, run
-
-    def _classify_buffers(self, trace: InstructionTrace, forward: ForwardAnalysis,
-                          regions: list[MemoryRegion],
-                          candidates: list[MemoryRegion]) -> BufferMap:
-        selected: list[MemoryRegion] = list(candidates)
-        for address in forward.indirect_access_addresses:
-            region = region_containing(regions, address)
-            if region is not None and region not in selected and \
-                    not is_stack_address(region.start):
-                selected.append(region)
-        # Lookup tables are often only partially exercised by one image, which
-        # leaves small holes in their accessed region; fold the fragments of
-        # one table back together before naming buffers.
-        from .regions import merge_nearby_regions
-
-        selected = merge_nearby_regions(selected, max_gap=64, size_ratio=2.0)
-        buffer_map = BufferMap()
-        inputs = sorted((r for r in selected if not r.written), key=lambda r: r.start)
-        outputs = sorted((r for r in selected if r.written), key=lambda r: r.start)
-        for index, region in enumerate(inputs, start=1):
-            buffer_map.entries.append(BufferEntry(f"input_{index}", region, "input"))
-        for index, region in enumerate(outputs, start=1):
-            buffer_map.entries.append(BufferEntry(f"output_{index}", region, "output"))
-        return buffer_map
-
-    def _infer_buffer_specs(self, trace: InstructionTrace, buffer_map: BufferMap,
-                            trace_run: AppRunResult) -> dict[str, BufferSpec]:
-        known = self.app.known_data(self.filter_name, trace_run)
-        specs: dict[str, BufferSpec] = {}
-        for entry in buffer_map.entries:
-            spec = None
-            if known is not None:
-                arrays = known.inputs if entry.role in ("input", "table") else known.outputs
-                for array in arrays:
-                    spec = infer_buffer_with_known_data(entry.name, entry.region, trace,
-                                                        array, entry.role)
-                    if spec is not None:
-                        break
-            if spec is None:
-                is_float = entry.region.element_size == 8
-                spec = infer_buffer_generic(entry.name, entry.region, entry.role,
-                                            is_float=is_float)
-            specs[entry.name] = spec
-        return specs
+                          ) -> tuple[InstructionTrace, TraceRunSnapshot]:
+        artifact = run_trace_stage(self.app, self.filter_name, localization,
+                                   self.seed)
+        return artifact.trace, artifact.run
 
     def run_extraction(self, localization: LocalizationResult,
-                       trace: InstructionTrace, trace_run: AppRunResult):
-        regions = reconstruct_regions(samples_from_itrace(trace))
-        candidates = find_candidate_regions(regions,
-                                            self.app.data_size_estimate(self.filter_name))
-        input_regions = [r for r in candidates if r.read and not r.written]
-        forward = forward_analyze(trace, input_regions)
-        buffer_map = self._classify_buffers(trace, forward, regions, candidates)
-        builder = TreeBuilder(trace, forward, buffer_map)
-        concrete = builder.build()
-        self.warnings.extend(builder.warnings)
-        specs = self._infer_buffer_specs(trace, buffer_map, trace_run)
-        abstract = [abstract_tree(tree, specs) for tree in concrete]
-        clusters = cluster_trees(abstract)
+                       trace: InstructionTrace, trace_run: TraceRunSnapshot):
+        from .stages import TraceArtifact
 
-        import random
-
-        rng = random.Random(self.seed)
-        kernels: dict[str, LiftedKernel] = {}
-        for cluster in clusters:
-            try:
-                symbolic = lift_cluster(cluster, specs, rng)
-            except SymbolicLiftError as error:
-                self.warnings.append(f"cluster on {cluster.buffer} skipped: {error}")
-                continue
-            kernel = kernels.setdefault(cluster.buffer,
-                                        LiftedKernel(output=cluster.buffer,
-                                                     dims=specs[cluster.buffer].dimensionality,
-                                                     buffer_specs=specs))
-            kernel.clusters.append(symbolic)
-        return forward, specs, concrete, list(kernels.values())
+        trace_artifact = TraceArtifact(trace=trace, run=trace_run)
+        forward_artifact = run_forward_stage(self.app, self.filter_name,
+                                             trace_artifact)
+        buffer_artifact = run_buffers_stage(self.app, self.filter_name,
+                                            trace_artifact, forward_artifact)
+        trees = run_trees_stage(trace_artifact, forward_artifact,
+                                buffer_artifact, self.seed)
+        self.warnings.extend(trees.warnings)
+        return (forward_artifact.forward, buffer_artifact.specs,
+                trees.concrete, trees.kernels)
 
     # -- whole workflow ---------------------------------------------------------------
 
@@ -240,15 +172,27 @@ class HeliumLifter:
         localization = self.run_localization()
         trace, trace_run = self.run_trace_capture(localization)
         forward, specs, concrete, kernels = self.run_extraction(localization, trace, trace_run)
+        from .stages import TreeArtifact
+
+        codegen = run_codegen_stage(TreeArtifact(concrete=concrete, kernels=kernels))
         funcs = {kernel.output: generate_funcs(kernel) for kernel in kernels}
-        sources = {kernel.output: generate_halide_cpp(kernel) for kernel in kernels}
         return LiftResult(app_name=self.app.name, filter_name=self.filter_name,
                           localization=localization, trace=trace, forward=forward,
                           buffer_specs=specs, concrete_trees=concrete, kernels=kernels,
-                          funcs=funcs, halide_sources=sources, trace_run=trace_run,
-                          warnings=list(self.warnings))
+                          funcs=funcs, halide_sources=codegen.halide_sources,
+                          trace_run=trace_run, warnings=list(self.warnings))
 
 
-def lift_filter(app: Application, filter_name: str, seed: int = 0) -> LiftResult:
-    """Convenience wrapper: run the whole Helium workflow for one filter."""
+def lift_filter(app: Application, filter_name: str, seed: int = 0,
+                store=None) -> LiftResult:
+    """Run the whole Helium workflow for one filter.
+
+    With the default ``store=None`` the lift is cold (every instrumented run
+    is performed); pass an :class:`~repro.store.ArtifactStore` to reuse and
+    populate cached stage artifacts instead.
+    """
+    if store is not None:
+        from .session import LiftSession
+
+        return LiftSession(app, filter_name, seed=seed, store=store).run()
     return HeliumLifter(app, filter_name, seed=seed).lift()

@@ -101,6 +101,33 @@ class Expr:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self})"
 
+    # -- serialization --------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle only the structural slots, never the memo slots.
+
+        ``_key`` is pure redundancy, and ``_hash`` is poison across
+        processes: tuple hashes involve string hashes, which are randomized
+        per interpreter run, so a persisted ``_hash`` would break dict/set
+        lookups after deserialization.  Dropping both also makes the bytes
+        of two structurally identical trees identical, which the artifact
+        store's determinism guarantees rely on.
+        """
+        state = {}
+        for cls in type(self).__mro__:
+            for slot in getattr(cls, "__slots__", ()):
+                if slot in ("_hash", "_key") or slot in state:
+                    continue
+                try:
+                    state[slot] = getattr(self, slot)
+                except AttributeError:
+                    pass
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+
     # -- traversal helpers ----------------------------------------------
 
     def walk(self) -> Iterator["Expr"]:

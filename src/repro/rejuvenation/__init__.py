@@ -10,16 +10,19 @@ from .lifted import (
     apply_lifted_irfanview,
     apply_lifted_minigmg,
     apply_lifted_photoshop,
+    clear_lift_memo,
     lift_irfanview_filter,
     lift_minigmg_smooth,
     lift_photoshop_filter,
     photoshop_reference,
 )
 from .insitu import insitu_lifted_photoshop
+from .serving import make_serve_requests, serve_lifted
 
 __all__ = [
     "legacy_irfanview_filter", "legacy_minigmg_smooth", "legacy_photoshop_filter",
     "apply_lifted_irfanview", "apply_lifted_minigmg", "apply_lifted_photoshop",
-    "lift_irfanview_filter", "lift_minigmg_smooth", "lift_photoshop_filter",
-    "photoshop_reference", "insitu_lifted_photoshop",
+    "clear_lift_memo", "lift_irfanview_filter", "lift_minigmg_smooth",
+    "lift_photoshop_filter", "photoshop_reference", "insitu_lifted_photoshop",
+    "make_serve_requests", "serve_lifted",
 ]

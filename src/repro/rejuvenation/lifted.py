@@ -3,54 +3,103 @@
 The Helium workflow lifts a kernel from a trace over a small image; the lifted
 Halide function is then compiled (here: realized through the vectorized NumPy
 backend) and applied to arbitrarily large images.  This module packages that
-"standalone executable" path used throughout the evaluation (section 6.2) and
-caches lift results so benchmarks do not repeat the five instrumented runs for
-every measurement.
+"standalone executable" path used throughout the evaluation (section 6.2).
+
+The ``lift_*`` helpers resolve their scenario through the app/filter registry
+(:mod:`repro.apps.registry`) and go through the **persistent artifact store**:
+the first lift of a scenario on a machine performs the instrumented runs and
+persists every stage artifact; every later lift — in this process (an
+in-process memo keeps object identity) or any later one — deserializes the
+artifacts and performs zero instrumented runs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from functools import lru_cache
+import threading
 
 import numpy as np
 
-from ..apps import IrfanViewApp, MiniGMGApp, PhotoshopApp
 from ..apps.photoshop import FILTER_SPECS as PS_SPECS
-from ..core import LiftResult, lift_filter
+from ..core import LiftResult, lift_scenario
 from ..halide.realize import realize
 
+_memo: dict[tuple[str, str], LiftResult] = {}
+_memo_lock = threading.Lock()
 
-@lru_cache(maxsize=None)
+
+def _lift_cached(app_name: str, filter_name: str) -> LiftResult:
+    """Store-backed lift of a registered scenario, memoized per process."""
+    key = (app_name, filter_name)
+    with _memo_lock:
+        cached = _memo.get(key)
+    if cached is not None:
+        return cached
+    result = lift_scenario(app_name, filter_name)
+    with _memo_lock:
+        return _memo.setdefault(key, result)
+
+
+def clear_lift_memo() -> None:
+    """Drop the in-process lift memo (store artifacts are unaffected)."""
+    with _memo_lock:
+        _memo.clear()
+
+
 def lift_photoshop_filter(filter_name: str) -> LiftResult:
-    """Lift one Photoshop filter from a small trace image (cached)."""
-    app = PhotoshopApp(width=16, height=12, seed=11)
-    if filter_name == "brightness":
-        # Table-driven kernels are only lifted for the table entries the trace
-        # exercises (paper section 5: the user must craft inputs that cover
-        # the behaviour); use a trace image containing every byte value so
-        # the captured lookup table is complete.
-        app = PhotoshopApp(width=32, height=16, seed=11)
-        full_range = np.arange(512, dtype=np.uint8).reshape(16, 32)
-        app.planes = {channel: np.roll(full_range, shift, axis=1).copy()
-                      for shift, channel in enumerate(("r", "g", "b"))}
-    return lift_filter(app, filter_name)
+    """Lift one Photoshop filter from its registered trace scenario (cached)."""
+    return _lift_cached("photoshop", filter_name)
 
 
-@lru_cache(maxsize=None)
 def lift_irfanview_filter(filter_name: str) -> LiftResult:
-    app = IrfanViewApp(width=14, height=10, seed=12)
-    return lift_filter(app, filter_name)
+    return _lift_cached("irfanview", filter_name)
 
 
-@lru_cache(maxsize=None)
 def lift_minigmg_smooth() -> LiftResult:
-    app = MiniGMGApp(nx=6, ny=5, nz=4)
-    return lift_filter(app, "smooth")
+    return _lift_cached("minigmg", "smooth")
 
 
 def _pad_plane(plane: np.ndarray, pad: int) -> np.ndarray:
     return np.pad(plane, pad, mode="edge") if pad else plane
+
+
+#: Photoshop filters whose lifted kernels read a one-pixel halo (the app pads
+#: every edge by one pixel before running them).
+PS_PADDED_FILTERS = ("blur", "blur_more", "sharpen", "sharpen_more",
+                     "box_blur", "sharpen_edges", "despeckle")
+#: Same for IrfanView's interleaved kernels.
+IV_PADDED_FILTERS = ("blur", "sharpen")
+
+
+def photoshop_kernel_request(result: LiftResult, filter_name: str,
+                             kernel, channel: str,
+                             planes: dict[str, np.ndarray]) -> dict:
+    """Realization arguments for one Photoshop kernel on full-size planes.
+
+    Returns ``{"shape": ..., "buffers": ...}`` — exactly the keyword form
+    :func:`repro.halide.realize.realize` and
+    :meth:`repro.halide.serve.PipelineServer.submit` accept.
+    """
+    channel_order = ("r", "g", "b")
+    pad = 1 if filter_name in PS_PADDED_FILTERS else 0
+    height, width = planes[channel].shape
+    buffers: dict[str, np.ndarray] = {}
+    image_inputs = [name for name in sorted(kernel.input_names)
+                    if result.buffer_specs.get(name) is None
+                    or result.buffer_specs[name].dimensionality > 1]
+    for name in sorted(kernel.input_names):
+        spec = result.buffer_specs.get(name)
+        if name not in image_inputs:
+            # A lookup table input: rebuild it from the traced run.
+            buffers[name] = spec.read_array(result.trace_run.memory.read_uint)
+            continue
+        if len(image_inputs) == 1:
+            source_channel = channel
+        else:
+            # Kernels reading several planes (threshold) bind them in
+            # buffer order, which follows the r/g/b allocation order.
+            source_channel = channel_order[image_inputs.index(name)]
+        buffers[name] = _pad_plane(planes[source_channel], pad)
+    return {"shape": (width, height), "buffers": buffers}
 
 
 def apply_lifted_photoshop(result: LiftResult, filter_name: str,
@@ -65,37 +114,31 @@ def apply_lifted_photoshop(result: LiftResult, filter_name: str,
     """
     params = params or {}
     outputs: dict[str, np.ndarray] = {}
-    channel_order = ("r", "g", "b")
     kernels = sorted(result.kernels, key=lambda k: k.output)
-    needs_padding = filter_name in ("blur", "blur_more", "sharpen", "sharpen_more",
-                                    "box_blur", "sharpen_edges", "despeckle")
-    pad = 1 if needs_padding else 0
-    for kernel, channel in zip(kernels, channel_order):
+    for kernel, channel in zip(kernels, ("r", "g", "b")):
         if channel not in planes:
             # Callers may process a single plane at a time (e.g. per-channel
             # pipeline stages); skip the kernels of the other planes.
             continue
         func = result.funcs[kernel.output]
-        height, width = planes[channel].shape
-        buffers: dict[str, np.ndarray] = {}
-        image_inputs = [name for name in sorted(kernel.input_names)
-                        if result.buffer_specs.get(name) is None
-                        or result.buffer_specs[name].dimensionality > 1]
-        for name in sorted(kernel.input_names):
-            spec = result.buffer_specs.get(name)
-            if name not in image_inputs:
-                # A lookup table input: rebuild it from the traced run.
-                buffers[name] = spec.read_array(result.trace_run.memory.read_uint)
-                continue
-            if len(image_inputs) == 1:
-                source_channel = channel
-            else:
-                # Kernels reading several planes (threshold) bind them in
-                # buffer order, which follows the r/g/b allocation order.
-                source_channel = channel_order[image_inputs.index(name)]
-            buffers[name] = _pad_plane(planes[source_channel], pad)
-        outputs[channel] = realize(func, (width, height), buffers, engine=engine)
+        request = photoshop_kernel_request(result, filter_name, kernel,
+                                           channel, planes)
+        outputs[channel] = realize(func, request["shape"], request["buffers"],
+                                   engine=engine)
     return outputs
+
+
+def irfanview_kernel_request(result: LiftResult, filter_name: str,
+                             image: np.ndarray) -> dict:
+    """Realization arguments for the IrfanView kernel on an interleaved image."""
+    kernel = result.kernels[0]
+    height, width, channels = image.shape
+    pad = 1 if filter_name in IV_PADDED_FILTERS else 0
+    padded = np.pad(image, ((pad, pad), (pad, pad), (0, 0)), mode="edge")
+    # The lifted kernels index interleaved images as (channel, x, y), which is
+    # an outermost-first (y, x, channel) NumPy array.
+    buffers = {name: padded for name in kernel.input_names}
+    return {"shape": (channels, width, height), "buffers": buffers}
 
 
 def apply_lifted_irfanview(result: LiftResult, filter_name: str,
@@ -104,14 +147,8 @@ def apply_lifted_irfanview(result: LiftResult, filter_name: str,
     """Apply a lifted IrfanView filter to a full-size interleaved image."""
     kernel = result.kernels[0]
     func = result.funcs[kernel.output]
-    height, width, channels = image.shape
-    needs_padding = filter_name in ("blur", "sharpen")
-    pad = 1 if needs_padding else 0
-    padded = np.pad(image, ((pad, pad), (pad, pad), (0, 0)), mode="edge")
-    # The lifted kernels index interleaved images as (channel, x, y), which is
-    # an outermost-first (y, x, channel) NumPy array.
-    buffers = {name: padded for name in kernel.input_names}
-    return realize(func, (channels, width, height), buffers, engine=engine)
+    request = irfanview_kernel_request(result, filter_name, image)
+    return realize(func, request["shape"], request["buffers"], engine=engine)
 
 
 def apply_lifted_minigmg(result: LiftResult, grid: np.ndarray,

@@ -1,0 +1,83 @@
+"""Content-addressed keys for lift-stage artifacts.
+
+A stage artifact is uniquely determined by
+
+* the **app identity and configuration** (``Application.fingerprint()`` —
+  name, geometry, parameters and a content hash of the processed data),
+* the **filter** being lifted,
+* the **seed** threaded through every instrumented run,
+* the **stage-code version chain**: the explicit per-stage version of this
+  stage and of every stage upstream of it, plus a fingerprint of the lifter's
+  source code.
+
+The source fingerprint makes the store safe during development: any edit to
+the analysis code invalidates every cached artifact, so a warm lift can never
+replay results computed by different code.  The per-stage versions exist for
+documentation and for deliberate, reviewable invalidation in stable builds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+
+#: Packages whose source defines what a lift produces.  ``halide`` and
+#: ``rejuvenation`` are excluded on purpose: executable Funcs are rebuilt
+#: from the kernels at load time, so execution-engine changes must not
+#: invalidate stored lift artifacts.
+_CODE_PACKAGES = ("apps", "core", "dynamo", "ir", "kgen", "x86")
+
+
+@dataclass(frozen=True)
+class ArtifactKey:
+    """One stage artifact's identity: a stage name plus a content digest."""
+
+    stage: str
+    digest: str
+    #: The canonical JSON the digest was computed over (for ``explain()``
+    #: provenance and the on-disk manifest).
+    payload: str
+
+    def describe(self) -> dict:
+        return json.loads(self.payload)
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """A hash of the lift-defining source code (see module docstring)."""
+    package_root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for package in _CODE_PACKAGES:
+        for path in sorted((package_root / package).glob("*.py")):
+            digest.update(path.name.encode())
+            digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+def stage_key(fingerprint: dict, filter_name: str, seed: int, stage: str,
+              stage_versions: dict[str, int], stage_order: tuple[str, ...],
+              code: str | None = None) -> ArtifactKey:
+    """Build the content-addressed key for one stage of one lift.
+
+    ``stage_versions``/``stage_order`` come from
+    :mod:`repro.core.stages`; the key folds in the version of every stage up
+    to and including ``stage`` so a bumped upstream stage invalidates all of
+    its consumers.
+    """
+    if stage not in stage_order:
+        raise KeyError(f"unknown stage {stage!r} (expected one of {stage_order})")
+    chain = stage_order[:stage_order.index(stage) + 1]
+    payload = json.dumps({
+        "app": fingerprint,
+        "filter": filter_name,
+        "seed": seed,
+        "stage": stage,
+        "versions": [[name, stage_versions[name]] for name in chain],
+        "code": code if code is not None else code_fingerprint(),
+    }, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(payload.encode()).hexdigest()
+    return ArtifactKey(stage=stage, digest=digest, payload=payload)

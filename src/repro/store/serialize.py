@@ -1,0 +1,44 @@
+"""Artifact (de)serialization with a versioned envelope.
+
+Artifacts are plain dataclasses built from stdlib containers, NumPy arrays
+and the expression IR (whose nodes pickle without their memo slots — see
+``Expr.__getstate__``).  Pickle with a **pinned protocol** is therefore both
+sufficient and deterministic: the same artifact produced by two identical
+lifts serializes to the same bytes, which the determinism regression tests
+assert directly.
+
+Every blob starts with a magic tag and a format version so a store populated
+by an older incompatible build fails loudly (and the loader can simply treat
+it as a miss) instead of deserializing garbage.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+MAGIC = b"REPROART"
+#: Bump when the envelope or the pickling conventions change incompatibly.
+FORMAT_VERSION = 1
+#: Pinned so the bytes do not depend on the Python version's default.
+_PICKLE_PROTOCOL = 4
+
+
+class ArtifactFormatError(Exception):
+    """Raised when a blob is not a compatible serialized artifact."""
+
+
+def dumps_artifact(obj: object) -> bytes:
+    """Serialize one artifact to a self-describing byte string."""
+    header = MAGIC + FORMAT_VERSION.to_bytes(2, "little")
+    return header + pickle.dumps(obj, protocol=_PICKLE_PROTOCOL)
+
+
+def loads_artifact(data: bytes) -> object:
+    """Inverse of :func:`dumps_artifact`; validates magic + format version."""
+    if len(data) < len(MAGIC) + 2 or not data.startswith(MAGIC):
+        raise ArtifactFormatError("not a serialized repro artifact")
+    version = int.from_bytes(data[len(MAGIC):len(MAGIC) + 2], "little")
+    if version != FORMAT_VERSION:
+        raise ArtifactFormatError(
+            f"artifact format v{version} is not supported (expected v{FORMAT_VERSION})")
+    return pickle.loads(data[len(MAGIC) + 2:])

@@ -1,0 +1,197 @@
+"""A persistent, content-addressed artifact store for lift-stage results.
+
+Layout on disk (one directory per stage, one blob + one manifest per key)::
+
+    <root>/
+      coverage/<digest>.pkl      # serialized artifact (see serialize.py)
+      coverage/<digest>.json     # manifest: key payload + size + timestamps
+      ...
+      codegen/<digest>.pkl
+
+Writes are atomic (temp file + ``os.replace``), so a crashed or concurrent
+lift never leaves a half-written artifact behind; a corrupt or incompatible
+blob reads as a miss, never as an error.  The store root defaults to
+``$REPRO_STORE_DIR`` or ``~/.cache/repro-helium/store`` — CI caches exactly
+that directory between workflow runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+
+from pathlib import Path
+from typing import Optional
+
+from .keys import ArtifactKey
+from .serialize import FORMAT_VERSION, MAGIC, dumps_artifact, loads_artifact
+
+#: Environment variable overriding the default store location.
+STORE_DIR_ENV = "REPRO_STORE_DIR"
+
+
+def default_store_root() -> Path:
+    """The store directory used when none is given explicitly.
+
+    Defaults to ``.repro_store/`` under the current working directory (the
+    repository checkout, in the usual workflows) so artifacts live next to
+    the code that produced them; ``$REPRO_STORE_DIR`` overrides (CI points it
+    at its cached path, tests at temporary directories).
+    """
+    override = os.environ.get(STORE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.cwd() / ".repro_store"
+
+
+class ArtifactStore:
+    """Get/put serialized stage artifacts by content-addressed key."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_store_root()
+        self._lock = threading.Lock()
+        self._stats = {"hits": 0, "misses": 0, "puts": 0,
+                       "bytes_read": 0, "bytes_written": 0}
+
+    # -- paths ---------------------------------------------------------------
+
+    def blob_path(self, key: ArtifactKey) -> Path:
+        return self.root / key.stage / f"{key.digest}.pkl"
+
+    def manifest_path(self, key: ArtifactKey) -> Path:
+        return self.root / key.stage / f"{key.digest}.json"
+
+    # -- core API ------------------------------------------------------------
+
+    def contains(self, key: ArtifactKey) -> bool:
+        return self.blob_path(key).exists()
+
+    def get(self, key: ArtifactKey) -> Optional[object]:
+        """The stored artifact, or ``None`` on a miss (or unreadable blob)."""
+        path = self.blob_path(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            with self._lock:
+                self._stats["misses"] += 1
+            return None
+        try:
+            artifact = loads_artifact(data)
+        except Exception:
+            # Unreadable blobs are misses.  A *corrupt* blob (bad magic, or
+            # unpicklable payload) is deleted together with its manifest so
+            # the rewrite repairs the store; a well-formed blob of a
+            # different format version is left alone — it may belong to a
+            # newer build sharing this store, and destroying its valid
+            # artifacts is not this build's call.
+            version_mismatch = data.startswith(MAGIC) and \
+                len(data) >= len(MAGIC) + 2 and \
+                int.from_bytes(data[len(MAGIC):len(MAGIC) + 2],
+                               "little") != FORMAT_VERSION
+            if not version_mismatch:
+                for stale in (path, self.manifest_path(key)):
+                    try:
+                        stale.unlink()
+                    except OSError:
+                        pass
+            with self._lock:
+                self._stats["misses"] += 1
+            return None
+        with self._lock:
+            self._stats["hits"] += 1
+            self._stats["bytes_read"] += len(data)
+        return artifact
+
+    def put(self, key: ArtifactKey, artifact: object) -> Path:
+        """Serialize and persist one artifact (atomically); returns its path."""
+        data = dumps_artifact(artifact)
+        path = self.blob_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._atomic_write(path, data)
+        manifest = {
+            "stage": key.stage,
+            "digest": key.digest,
+            "key": key.describe(),
+            "size_bytes": len(data),
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        }
+        self._atomic_write(self.manifest_path(key),
+                           json.dumps(manifest, indent=2).encode())
+        with self._lock:
+            self._stats["puts"] += 1
+            self._stats["bytes_written"] += len(data)
+        return path
+
+    @staticmethod
+    def _atomic_write(path: Path, data: bytes) -> None:
+        fd, temp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(temp, path)
+        except BaseException:
+            try:
+                os.unlink(temp)
+            except OSError:
+                pass
+            raise
+
+    # -- inspection ----------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Hit/miss/put counters and byte volumes for this store handle."""
+        with self._lock:
+            return dict(self._stats)
+
+    def entries(self) -> list[dict]:
+        """Every stored artifact's manifest (sorted by stage, then digest)."""
+        manifests = []
+        if not self.root.exists():
+            return manifests
+        for path in sorted(self.root.glob("*/*.json")):
+            try:
+                manifests.append(json.loads(path.read_text()))
+            except (json.JSONDecodeError, OSError):
+                continue
+        return manifests
+
+    def size_bytes(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(path.stat().st_size for path in self.root.glob("*/*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every artifact + manifest; returns the number of blobs removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in list(self.root.glob("*/*")):
+            if path.suffix in (".pkl", ".json"):
+                if path.suffix == ".pkl":
+                    removed += 1
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        return removed
+
+
+_default_store: ArtifactStore | None = None
+_default_store_lock = threading.Lock()
+
+
+def default_store() -> ArtifactStore:
+    """The process-wide store at :func:`default_store_root` (created lazily).
+
+    Re-resolves the root when ``$REPRO_STORE_DIR`` changes (tests point it at
+    temporary directories).
+    """
+    global _default_store
+    with _default_store_lock:
+        root = default_store_root()
+        if _default_store is None or _default_store.root != root:
+            _default_store = ArtifactStore(root)
+        return _default_store

@@ -6,7 +6,7 @@ from .assembler import AssemblerError, assemble, parse_memory_operand
 from .cpu import CPUState
 from .emulator import AddressExpression, EmulationError, Emulator, MemoryAccess
 from .instructions import Imm, Instruction, Label, Mem, Operand, Reg
-from .memory import HEAP_BASE, MODULE_BASE, PAGE_SIZE, STACK_TOP, Memory
+from .memory import HEAP_BASE, MODULE_BASE, PAGE_SIZE, STACK_TOP, Memory, MemorySnapshot
 from .module import (
     EXTERNAL_BASE,
     ExternalFunction,
@@ -29,7 +29,7 @@ __all__ = [
     "AssemblerError", "assemble", "parse_memory_operand", "CPUState",
     "AddressExpression", "EmulationError", "Emulator", "MemoryAccess",
     "Imm", "Instruction", "Label", "Mem", "Operand", "Reg",
-    "HEAP_BASE", "MODULE_BASE", "PAGE_SIZE", "STACK_TOP", "Memory",
+    "HEAP_BASE", "MODULE_BASE", "PAGE_SIZE", "STACK_TOP", "Memory", "MemorySnapshot",
     "EXTERNAL_BASE", "ExternalFunction", "INSTRUCTION_SPACING", "LinkError",
     "Module", "Program", "RETURN_SENTINEL",
     "FLAGS_ADDRESS", "REGISTER_SPACE_BASE", "is_register", "is_register_address",

@@ -110,3 +110,52 @@ class Memory:
         """Dump every page containing any of the given addresses."""
         pages = sorted({addr & PAGE_MASK for addr in addresses})
         return {base: bytes(self._pages.get(base, bytes(PAGE_SIZE))) for base in pages}
+
+    def snapshot(self) -> "MemorySnapshot":
+        """An immutable, serializable copy of every touched page."""
+        return MemorySnapshot({base: bytes(page) for base, page in self._pages.items()})
+
+
+class MemorySnapshot:
+    """A read-only copy of a :class:`Memory`'s touched pages.
+
+    Stage artifacts persist one of these instead of the live emulator memory:
+    it supports the same read API the analyses use (``read_uint`` /
+    ``read_bytes``), serializes cleanly, and reads from unmapped pages fail
+    loudly instead of silently materializing zero pages.
+    """
+
+    def __init__(self, pages: dict[int, bytes]) -> None:
+        self._pages = dict(pages)
+
+    def touched_pages(self) -> list[int]:
+        return sorted(self._pages)
+
+    def read_bytes(self, address: int, length: int) -> bytes:
+        out = bytearray()
+        cursor = address
+        remaining = length
+        while remaining > 0:
+            base = cursor & PAGE_MASK
+            page = self._pages.get(base)
+            if page is None:
+                raise MemoryError_(f"address {cursor:#x} not in memory snapshot")
+            offset = cursor - base
+            chunk = min(remaining, PAGE_SIZE - offset)
+            out += page[offset:offset + chunk]
+            cursor += chunk
+            remaining -= chunk
+        return bytes(out)
+
+    def read_uint(self, address: int, width: int) -> int:
+        return int.from_bytes(self.read_bytes(address, width), "little")
+
+    def read_float(self, address: int, width: int) -> float:
+        raw = self.read_bytes(address, width)
+        return struct.unpack("<f" if width == 4 else "<d", raw)[0]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MemorySnapshot) and self._pages == other._pages
+
+    def __len__(self) -> int:
+        return len(self._pages)

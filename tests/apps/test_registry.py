@@ -1,0 +1,64 @@
+"""The declarative app/filter scenario registry."""
+
+import numpy as np
+import pytest
+
+from repro.apps import registry
+from repro.apps.irfanview import FILTER_SPECS as IV_SPECS
+from repro.apps.photoshop import FILTER_SPECS as PS_SPECS
+from repro.apps.registry import Scenario, UnknownScenarioError, get_scenario, scenarios
+
+
+class TestRegistryContents:
+    def test_every_builtin_filter_is_registered(self):
+        assert {s.filter_name for s in scenarios("photoshop")} == set(PS_SPECS)
+        assert {s.filter_name for s in scenarios("irfanview")} == set(IV_SPECS)
+        assert {s.filter_name for s in scenarios("minigmg")} == {"smooth"}
+
+    def test_app_names(self):
+        assert registry.app_names() == ["irfanview", "minigmg", "photoshop"]
+
+    def test_tag_filtering(self):
+        fully = scenarios(tag="fully-lifted")
+        partially = scenarios(tag="partially-lifted")
+        assert {s.filter_name for s in partially} == \
+            {"sharpen_edges", "despeckle", "equalize", "brightness"}
+        assert not {s.key for s in fully} & {s.key for s in partially}
+
+    def test_unknown_scenario_raises_with_catalog(self):
+        with pytest.raises(UnknownScenarioError, match="photoshop/blur"):
+            get_scenario("photoshop", "nope")
+
+
+class TestScenarioFactories:
+    def test_factories_return_fresh_apps(self):
+        scenario = get_scenario("photoshop", "invert")
+        assert scenario.make_app() is not scenario.make_app()
+
+    def test_brightness_trace_image_covers_every_byte(self):
+        # The registered brightness scenario must carry the special
+        # full-range trace image so the captured lookup table is complete.
+        app = get_scenario("photoshop", "brightness").make_app()
+        for plane in app.planes.values():
+            assert set(np.unique(plane)) == set(range(256))
+
+    def test_fingerprints_depend_on_data(self):
+        scenario = get_scenario("photoshop", "invert")
+        app = scenario.make_app()
+        fingerprint = app.fingerprint()
+        assert fingerprint["app"] == "photoshop"
+        assert scenario.make_app().fingerprint() == fingerprint
+        other = scenario.make_app()
+        other.planes["r"] = other.planes["r"].copy()
+        other.planes["r"][0, 0] ^= 0xFF
+        assert other.fingerprint() != fingerprint
+
+    def test_registration_override_wins(self):
+        original = get_scenario("photoshop", "invert")
+        replacement = Scenario(app_name="photoshop", filter_name="invert",
+                               factory=original.factory, seed=99)
+        try:
+            registry.register(replacement)
+            assert get_scenario("photoshop", "invert").seed == 99
+        finally:
+            registry.register(original)

@@ -1,0 +1,52 @@
+"""Golden-file tests for the generated Halide C++ sources.
+
+Two representative filters — a pointwise kernel (Photoshop invert) and a
+5-tap stencil (Photoshop blur) — are lifted from their registered trace
+scenarios and the emitted C++ compared byte-for-byte against checked-in
+golden files.  A deliberate codegen change shows up as a reviewable diff of
+``tests/golden/*.cpp``; anything else is silent drift and fails here.
+
+To refresh after an intentional change::
+
+    PYTHONPATH=src python - <<'EOF'
+    from repro.apps.registry import get_scenario
+    from repro.core.session import LiftSession
+    for name in ("invert", "blur"):
+        sc = get_scenario("photoshop", name)
+        res = LiftSession(sc.make_app(), name, seed=sc.seed, use_store=False).run()
+        open(f"tests/golden/photoshop_{name}_output_1.cpp", "w").write(
+            res.halide_sources["output_1"])
+    EOF
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.apps.registry import get_scenario
+from repro.core.session import LiftSession
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+
+
+def lifted_source(filter_name: str) -> str:
+    scenario = get_scenario("photoshop", filter_name)
+    result = LiftSession(scenario.make_app(), filter_name, seed=scenario.seed,
+                         use_store=False).run()
+    return result.halide_sources["output_1"]
+
+
+@pytest.mark.parametrize("filter_name", ["invert", "blur"])
+def test_codegen_matches_golden_file(filter_name):
+    golden = (GOLDEN_DIR / f"photoshop_{filter_name}_output_1.cpp").read_text()
+    produced = lifted_source(filter_name)
+    assert produced == golden, (
+        f"generate_halide_cpp drifted for {filter_name}; if intentional, "
+        "refresh tests/golden/ (see module docstring) and review the diff")
+
+
+def test_golden_files_look_like_halide(filter_name="blur"):
+    source = (GOLDEN_DIR / f"photoshop_{filter_name}_output_1.cpp").read_text()
+    assert source.startswith("#include <Halide.h>")
+    assert "compile_to_file" in source
+    assert "input_1(" in source

@@ -1,0 +1,189 @@
+"""LiftSession behaviour: warm lifts, resume, provenance and determinism."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import app_run_count
+from repro.apps.registry import get_scenario
+from repro.core import lift_filter
+from repro.core.session import LiftSession
+from repro.core.stages import STAGES
+from repro.store import ArtifactStore, dumps_artifact
+
+
+def make_session(store, filter_name="invert", seed=0):
+    scenario = get_scenario("photoshop", filter_name)
+    return LiftSession(scenario.make_app(), filter_name, seed=seed, store=store)
+
+
+class TestWarmPath:
+    def test_warm_lift_performs_zero_instrumented_runs(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        cold = make_session(store)
+        runs_before = app_run_count()
+        cold_result = cold.run()
+        assert app_run_count() - runs_before == 4  # the instrumented workflow
+
+        warm = make_session(store)
+        runs_before = app_run_count()
+        warm_result = warm.run()
+        assert app_run_count() - runs_before == 0
+        assert warm.stats()["hits"] == len(STAGES)
+        assert all(r.source == "hit" for r in warm.explain())
+
+        assert warm_result.halide_sources == cold_result.halide_sources
+        for name, produced in warm_result.realize_outputs().items():
+            np.testing.assert_array_equal(produced,
+                                          cold_result.realize_outputs()[name])
+
+    def test_store_differentiates_seeds(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        make_session(store, seed=0).run()
+        runs_before = app_run_count()
+        make_session(store, seed=1).run()
+        assert app_run_count() - runs_before == 4, \
+            "a different seed must never hit the other seed's artifacts"
+
+    def test_lift_filter_accepts_a_store(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        scenario = get_scenario("photoshop", "invert")
+        lift_filter(scenario.make_app(), "invert", store=store)
+        runs_before = app_run_count()
+        result = lift_filter(scenario.make_app(), "invert", store=store)
+        assert app_run_count() - runs_before == 0
+        assert all(result.validate().values())
+
+
+class TestResume:
+    def test_resumes_from_deepest_cached_prefix(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        cold = make_session(store)
+        cold.run()
+        # Wipe the two last stages; the next session must resume there
+        # without re-running any instrumented stage.
+        for stage in ("trees", "codegen"):
+            store.blob_path(cold.key_for(stage)).unlink()
+        resumed = make_session(store)
+        runs_before = app_run_count()
+        result = resumed.run()
+        assert app_run_count() - runs_before == 0
+        sources = {r.stage: r.source for r in resumed.explain()}
+        assert sources["trace"] == "hit"
+        assert sources["trees"] == "computed"
+        assert sources["codegen"] == "computed"
+        assert all(result.validate().values())
+
+    def test_resume_from_recomputes_suffix(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        make_session(store).run()
+        session = make_session(store)   # warm: every stage is a store hit
+        session.run()
+        session.resume_from("forward")
+        sources = {r.stage: r.source for r in session.explain()}
+        assert sources["coverage"] == "hit"
+        for stage in STAGES[STAGES.index("forward"):]:
+            assert sources[stage] == "computed"
+
+    def test_unknown_stage_rejected(self, tmp_path):
+        session = make_session(ArtifactStore(tmp_path))
+        with pytest.raises(KeyError):
+            session.artifact("nope")
+        with pytest.raises(KeyError):
+            session.resume_from("nope")
+
+
+class TestProvenance:
+    def test_explain_reports_every_stage_in_order(self, tmp_path):
+        session = make_session(ArtifactStore(tmp_path))
+        assert [r.stage for r in session.explain()] == list(STAGES)
+        assert all(r.source == "pending" for r in session.explain())
+        session.run()
+        reports = session.explain()
+        assert [r.stage for r in reports] == list(STAGES)
+        assert all(r.source == "computed" for r in reports)
+        assert all(r.key is not None and r.path for r in reports)
+        runs = {r.stage: r.instrumented_runs for r in reports}
+        assert runs["coverage"] == 2 and runs["screen"] == 1 \
+            and runs["trace"] == 1
+        assert sum(runs.values()) == 4
+
+    def test_stats_aggregate(self, tmp_path):
+        session = make_session(ArtifactStore(tmp_path))
+        session.run()
+        stats = session.stats()
+        assert stats["stages_run"] == len(STAGES)
+        assert stats["computed"] == len(STAGES) and stats["hits"] == 0
+        assert stats["instrumented_runs"] == 4
+        assert set(stats["stage_seconds"]) == set(STAGES)
+
+    def test_out_of_order_access_does_not_double_count(self, tmp_path):
+        # Asking for the last stage first must not charge the whole pipeline
+        # to it: dependencies resolve under their own reports.
+        session = make_session(ArtifactStore(tmp_path))
+        session.artifact("codegen")
+        stats = session.stats()
+        assert stats["stages_run"] == len(STAGES)
+        assert stats["instrumented_runs"] == 4
+        runs = {r.stage: r.instrumented_runs for r in session.explain()}
+        assert runs["codegen"] == 0 and runs["trees"] == 0
+        assert runs["coverage"] == 2
+
+
+class TestDeterminism:
+    """Satellite: repeated lifts of one (app, filter, seed) are bit-identical."""
+
+    def test_same_seed_serializes_bit_identically(self):
+        # Pickle bytes encode object-sharing patterns, and the process-global
+        # canonicalization memo hands the second lift Expr objects the first
+        # lift created; clearing it gives each lift the identity landscape of
+        # a fresh process (the cross-process case is covered below).
+        from repro.ir.simplify import clear_canonicalize_cache
+
+        scenario = get_scenario("photoshop", "blur")
+        clear_canonicalize_cache()
+        first = LiftSession(scenario.make_app(), "blur", seed=0,
+                            use_store=False).run()
+        clear_canonicalize_cache()
+        second = LiftSession(scenario.make_app(), "blur", seed=0,
+                             use_store=False).run()
+        assert dumps_artifact(first) == dumps_artifact(second)
+
+    def test_bit_identical_across_fresh_processes(self, tmp_path):
+        # The property the artifact-store keys actually rely on: two cold
+        # lifts of the same (app, filter, seed) in *separate interpreters*
+        # (fresh caches, fresh string hashing) serialize identically.
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        script = (
+            "import sys\n"
+            "from repro.apps.registry import get_scenario\n"
+            "from repro.core.session import LiftSession\n"
+            "from repro.store import dumps_artifact\n"
+            "sc = get_scenario('photoshop', 'invert')\n"
+            "res = LiftSession(sc.make_app(), 'invert', seed=0,"
+            " use_store=False).run()\n"
+            "open(sys.argv[1], 'wb').write(dumps_artifact(res))\n")
+        src = Path(__file__).resolve().parents[2] / "src"
+        blobs = []
+        for index in range(2):
+            out = tmp_path / f"lift-{index}.bin"
+            subprocess.run([sys.executable, "-c", script, str(out)],
+                           check=True, env={"PYTHONPATH": str(src),
+                                            "PATH": "/usr/bin:/bin"})
+            blobs.append(out.read_bytes())
+        assert blobs[0] == blobs[1]
+
+    def test_different_seed_changes_the_observed_trace(self):
+        scenario = get_scenario("photoshop", "invert")
+        base = LiftSession(scenario.make_app(), "invert", seed=0,
+                           use_store=False).run()
+        other = LiftSession(scenario.make_app(), "invert", seed=5,
+                            use_store=False).run()
+        # The run environment (background scratch) differs, so the captured
+        # memory images differ...
+        assert dumps_artifact(base) != dumps_artifact(other)
+        # ...but the lifted kernels are the same filter, and both validate.
+        assert base.halide_sources == other.halide_sources
+        assert all(other.validate().values())

@@ -1,0 +1,17 @@
+#include <Halide.h>
+#include <vector>
+using namespace std;
+using namespace Halide;
+
+int main(){
+  Var x_0;
+  Var x_1;
+  ImageParam input_1(UInt(8),2);
+  Func output_1;
+  output_1(x_0,x_1) =
+    cast<uint8_t>(cast<uint8_t>((((((((cast<uint32_t>(input_1((x_0 + 1), (x_1 + 1))) << 2) + cast<uint32_t>(input_1((x_0 + 1), (x_1 + 2)))) + cast<uint32_t>(input_1((x_0 + 1), x_1))) + cast<uint32_t>(input_1((x_0 + 2), (x_1 + 1)))) + cast<uint32_t>(input_1(x_0, (x_1 + 1)))) + 4) >> 3)));
+  vector<Argument> args;
+  args.push_back(input_1);
+  output_1.compile_to_file("halide_out_0",args);
+  return 0;
+}

@@ -13,6 +13,12 @@ import pytest
 from repro.apps import IrfanViewApp, MiniGMGApp, PhotoshopApp
 from repro.core import lift_filter
 
+# The full every-app x every-filter matrix of cold lifts is the slowest part
+# of the suite; tier-1 keeps the representative single-filter lifts
+# (test_lift_photoshop.py, the store/golden tests) and CI runs this matrix in
+# its own `-m slow` step.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def photoshop():

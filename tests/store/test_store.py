@@ -1,0 +1,134 @@
+"""Unit tests for the content-addressed artifact store."""
+
+import pytest
+
+from repro.store import (
+    ArtifactStore,
+    FORMAT_VERSION,
+    code_fingerprint,
+    default_store_root,
+    dumps_artifact,
+    loads_artifact,
+    stage_key,
+)
+from repro.core.stages import STAGE_VERSIONS, STAGES
+
+FP = {"app": "photoshop", "width": 16, "height": 12, "data": "abc123"}
+
+
+def key(stage="coverage", fingerprint=FP, filter_name="blur", seed=0,
+        versions=None):
+    return stage_key(fingerprint, filter_name, seed, stage,
+                     versions or STAGE_VERSIONS, STAGES)
+
+
+class TestSerialize:
+    def test_roundtrip(self):
+        payload = {"a": [1, 2, 3], "b": (4, 5)}
+        assert loads_artifact(dumps_artifact(payload)) == payload
+
+    def test_rejects_garbage(self):
+        from repro.store import ArtifactFormatError
+
+        with pytest.raises(ArtifactFormatError):
+            loads_artifact(b"not an artifact")
+
+    def test_rejects_future_format(self):
+        from repro.store import ArtifactFormatError
+        from repro.store.serialize import MAGIC
+
+        blob = MAGIC + (FORMAT_VERSION + 1).to_bytes(2, "little") + b"x"
+        with pytest.raises(ArtifactFormatError):
+            loads_artifact(blob)
+
+
+class TestKeys:
+    def test_same_inputs_same_digest(self):
+        assert key().digest == key().digest
+
+    def test_every_component_changes_the_digest(self):
+        base = key().digest
+        assert key(stage="screen").digest != base
+        assert key(filter_name="invert").digest != base
+        assert key(seed=1).digest != base
+        assert key(fingerprint={**FP, "data": "other"}).digest != base
+
+    def test_upstream_version_bump_invalidates_downstream(self):
+        bumped = dict(STAGE_VERSIONS, coverage=STAGE_VERSIONS["coverage"] + 1)
+        assert key(stage="codegen").digest != \
+            key(stage="codegen", versions=bumped).digest
+
+    def test_downstream_version_bump_keeps_upstream(self):
+        bumped = dict(STAGE_VERSIONS, codegen=STAGE_VERSIONS["codegen"] + 1)
+        assert key(stage="coverage").digest == \
+            key(stage="coverage", versions=bumped).digest
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(KeyError):
+            key(stage="nope")
+
+    def test_code_fingerprint_is_stable(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 16
+
+    def test_payload_describes_key(self):
+        described = key(seed=7).describe()
+        assert described["seed"] == 7
+        assert described["app"] == FP
+        assert described["stage"] == "coverage"
+
+
+class TestArtifactStore:
+    def test_put_get_and_stats(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        k = key()
+        assert store.get(k) is None
+        store.put(k, {"value": 42})
+        assert store.get(k) == {"value": 42}
+        stats = store.stats()
+        assert stats["puts"] == 1 and stats["hits"] == 1 and stats["misses"] == 1
+        assert store.contains(k)
+
+    def test_corrupt_blob_reads_as_miss_and_heals(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        k = key()
+        store.put(k, [1, 2, 3])
+        store.blob_path(k).write_bytes(b"corrupted")
+        assert store.get(k) is None
+        # Both the blob and its manifest are gone, so entries()/size_bytes
+        # stay consistent with get().
+        assert not store.blob_path(k).exists()
+        assert not store.manifest_path(k).exists()
+        assert store.entries() == []
+        store.put(k, [1, 2, 3])
+        assert store.get(k) == [1, 2, 3]
+
+    def test_future_format_blob_is_a_miss_but_survives(self, tmp_path):
+        from repro.store.serialize import MAGIC
+
+        store = ArtifactStore(tmp_path)
+        k = key()
+        store.put(k, [1, 2, 3])
+        future = MAGIC + (FORMAT_VERSION + 1).to_bytes(2, "little") + b"payload"
+        store.blob_path(k).write_bytes(future)
+        assert store.get(k) is None
+        # A newer build's artifact must not be destroyed by an older reader.
+        assert store.blob_path(k).read_bytes() == future
+
+    def test_entries_and_clear(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put(key(), 1)
+        store.put(key(stage="screen"), 2)
+        entries = store.entries()
+        assert {m["stage"] for m in entries} == {"coverage", "screen"}
+        assert all(m["size_bytes"] > 0 for m in entries)
+        assert store.size_bytes() > 0
+        assert store.clear() == 2
+        assert store.entries() == []
+        assert store.get(key()) is None
+
+    def test_default_root_honours_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "env-store"))
+        assert default_store_root() == tmp_path / "env-store"
+        monkeypatch.delenv("REPRO_STORE_DIR")
+        assert default_store_root().name == ".repro_store"

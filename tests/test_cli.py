@@ -1,0 +1,75 @@
+"""The ``python -m repro`` command-line interface, end to end."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture()
+def store_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "store"))
+    return tmp_path / "store"
+
+
+class TestAppsCommand:
+    def test_lists_scenarios(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        assert "photoshop" in out and "irfanview" in out and "minigmg" in out
+
+    def test_tag_filter(self, capsys):
+        assert main(["apps", "--tag", "stencil3d"]) == 0
+        out = capsys.readouterr().out
+        assert "smooth" in out and "photoshop" not in out
+
+
+class TestLiftCommand:
+    def test_cold_then_warm(self, store_env, capsys):
+        assert main(["lift", "photoshop", "invert", "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "store hits: 0/8, instrumented runs: 4" in out
+        assert "output_1=ok" in out
+
+        assert main(["lift", "photoshop", "invert", "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "store hits: 8/8, instrumented runs: 0" in out
+
+    def test_no_store_stays_cold(self, store_env, capsys):
+        assert main(["lift", "photoshop", "invert", "--no-store"]) == 0
+        assert main(["lift", "photoshop", "invert", "--no-store"]) == 0
+        out = capsys.readouterr().out
+        assert "store hits: 0/8, instrumented runs: 4" in out
+
+    def test_cpp_prints_halide_source(self, store_env, capsys):
+        assert main(["lift", "photoshop", "invert", "--cpp"]) == 0
+        out = capsys.readouterr().out
+        assert "#include <Halide.h>" in out
+
+
+class TestServeAndRunCommands:
+    def test_serve_reports_throughput(self, store_env, capsys):
+        assert main(["serve", "photoshop", "invert", "--frames", "3",
+                     "--width", "64", "--height", "48"]) == 0
+        out = capsys.readouterr().out
+        assert "served 3 frame(s)" in out and "frames/s" in out
+
+    def test_run_applies_to_one_frame(self, store_env, capsys):
+        assert main(["run", "photoshop", "invert",
+                     "--width", "64", "--height", "48"]) == 0
+        out = capsys.readouterr().out
+        assert "ran lifted photoshop/invert" in out and "checksum" in out
+
+
+class TestCacheCommand:
+    def test_stats_list_clear(self, store_env, capsys):
+        main(["lift", "photoshop", "invert"])
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "artifacts: 8" in out
+        assert main(["cache", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "codegen" in out and "invert" in out
+        assert main(["cache", "clear"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 8 artifact(s)" in out
