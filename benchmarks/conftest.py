@@ -65,6 +65,10 @@ def pytest_sessionfinish(session, exitstatus):
         "image_size": [BENCH_WIDTH, BENCH_HEIGHT],
         "python": platform.python_version(),
         "machine": platform.machine(),
+        # Keys actually measured by THIS session (the merge above keeps
+        # older entries verbatim); the CI regression gate only compares
+        # these, so stale carried-over numbers can neither fail nor skew it.
+        "last_run_keys": sorted(BENCH_RESULTS),
         "results": dict(sorted(results.items())),
     }
     RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")

@@ -145,7 +145,55 @@ def cmd_run(args) -> int:
           f"checksum {int(np.asarray(output, dtype=np.float64).sum()) & 0xFFFFFFFF:#010x}")
     print(f"instrumented runs this invocation: "
           f"{session.stats()['instrumented_runs']}")
+    if args.explain:
+        _explain_kernels(result, frame, tile=args.tile)
     return 0
+
+
+def _parse_tile(tile: str | None) -> tuple[int, int] | None:
+    if not tile:
+        return None
+    parts = tile.lower().split("x")
+    if len(parts) != 2 or not all(p.isdigit() and int(p) > 0 for p in parts):
+        raise SystemExit(f"--tile expects WxH (e.g. 128x64), got {tile!r}")
+    return (int(parts[0]), int(parts[1]))
+
+
+def _explain_kernels(result, frame, tile: str | None = None) -> None:
+    """Print each lifted kernel's schedule plus its lowered loop nest.
+
+    The schedule/mode lines describe what the ``run`` above actually
+    executed; the loop nest shows each kernel lowered standalone at
+    ``compute_root`` (with ``--tile`` applied), since a single lifted kernel
+    has no producers to place — multi-stage placement is a pipeline-level
+    decision (see ``FuncPipeline.describe``).
+    """
+    from dataclasses import replace
+    from .halide.lower import PipelineLoweringError
+    from .halide.pipeline import FuncPipeline
+
+    tile_wh = _parse_tile(tile)
+    print("\nexecution plan:")
+    for name in sorted(result.funcs):
+        func = result.funcs[name]
+        print(f"  {name}: schedule [{func.schedule.describe()}], "
+              f"mode {func.execution_mode()}")
+        schedule = replace(func.schedule, compute="root")
+        if tile_wh is not None:
+            schedule.tile_x, schedule.tile_y = tile_wh
+        explain_func = replace(func, schedule=schedule)
+        pipeline = FuncPipeline().add(explain_func, name=name)
+        print("    standalone lowering (compute_root"
+              + (f", tile {tile_wh[0]}x{tile_wh[1]}" if tile_wh else "")
+              + "):")
+        try:
+            plan = pipeline.describe(np.asarray(frame).shape)
+        except PipelineLoweringError as error:
+            print(f"    (no lowered form: {error})")
+            continue
+        for line in plan.splitlines():
+            print(f"    {line}")
+    return None
 
 
 def cmd_serve(args) -> int:
@@ -166,12 +214,22 @@ def cmd_serve(args) -> int:
 
 
 def cmd_cache(args) -> int:
-    from .store import ArtifactStore
+    from .store import ArtifactStore, manifest_is_current
 
     store = ArtifactStore(args.store) if args.store else ArtifactStore()
     if args.action == "clear":
         removed = store.clear()
         print(f"removed {removed} artifact(s) from {store.root}")
+        return 0
+    if args.action == "prune":
+        from .core.stages import STAGE_VERSIONS, STAGES
+
+        removed = store.prune(
+            lambda manifest: manifest_is_current(manifest, STAGE_VERSIONS,
+                                                 STAGES))
+        kept = len(store.entries())
+        print(f"pruned {removed} stale artifact(s) from {store.root} "
+              f"({kept} current kept)")
         return 0
     entries = store.entries()
     if args.action == "list":
@@ -231,6 +289,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--width", type=int, default=640)
     run.add_argument("--height", type=int, default=480)
     run.add_argument("--engine", default=None, choices=("compiled", "interp"))
+    run.add_argument("--explain", action="store_true",
+                     help="print each kernel's schedule and lowered loop nest")
+    run.add_argument("--tile", default=None, metavar="WxH",
+                     help="tile size for the --explain loop nest (e.g. 128x64)")
     run.set_defaults(fn=cmd_run)
 
     serve = commands.add_parser(
@@ -242,9 +304,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--engine", default=None, choices=("compiled", "interp"))
     serve.set_defaults(fn=cmd_serve)
 
-    cache = commands.add_parser("cache", help="inspect or clear the artifact store")
+    cache = commands.add_parser(
+        "cache", help="inspect, prune or clear the artifact store")
     cache.add_argument("action", nargs="?", default="stats",
-                       choices=("stats", "list", "clear"))
+                       choices=("stats", "list", "clear", "prune"))
     cache.add_argument("--store", default=None)
     cache.set_defaults(fn=cmd_cache)
     return parser

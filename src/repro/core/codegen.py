@@ -157,8 +157,47 @@ def _cpp_expr(expr: Expr) -> str:
     raise TypeError(f"cannot emit {type(expr).__name__}")
 
 
-def generate_halide_cpp(kernel: LiftedKernel, output_file: str = "halide_out_0") -> str:
-    """Emit Halide C++ source text for a lifted kernel (Figure 2(h) style)."""
+def _schedule_cpp_lines(func_name: str, schedule, variables: list[str],
+                        consumer: Optional[str] = None,
+                        consumer_tiled: bool = False) -> tuple[list[str], list[str]]:
+    """Halide schedule calls for one Func; returns (var decls, statements).
+
+    Emits ``compute_root`` / ``compute_at`` placement plus ``tile`` and
+    ``parallel``, mirroring what the lowered loop-nest IR actually executes
+    offline (:mod:`repro.halide.lower`).
+    """
+    calls: list[str] = []
+    decls: list[str] = []
+    if schedule is None:
+        return decls, calls
+    if schedule.compute == "root":
+        calls.append("compute_root()")
+    elif schedule.compute == "at" and schedule.compute_at and consumer:
+        anchor = schedule.compute_at[1]
+        if consumer_tiled:
+            anchor = f"{anchor}_o"
+        calls.append(f"compute_at({consumer}, {anchor})")
+    tiled = schedule.tile_x > 0 and schedule.tile_y > 0 and len(variables) >= 2
+    if tiled:
+        x, y = variables[0], variables[1]
+        decls.extend([f"{x}_o", f"{y}_o", f"{x}_i", f"{y}_i"])
+        calls.append(f"tile({x}, {y}, {x}_o, {y}_o, {x}_i, {y}_i, "
+                     f"{schedule.tile_x}, {schedule.tile_y})")
+        if schedule.parallel:
+            calls.append(f"parallel({y}_o)")
+    if not calls:
+        return decls, []
+    return decls, [f"  {func_name}.{'.'.join(calls)};"]
+
+
+def generate_halide_cpp(kernel: LiftedKernel, output_file: str = "halide_out_0",
+                        schedule=None) -> str:
+    """Emit Halide C++ source text for a lifted kernel (Figure 2(h) style).
+
+    ``schedule``, when given, also emits the Halide schedule calls
+    (``compute_root`` / ``tile`` / ``parallel``) matching the mini-Halide
+    :class:`~repro.halide.func.Schedule` the kernel carries offline.
+    """
     spec = kernel.buffer_specs[kernel.output]
     variables = [f"x_{d}" for d in range(kernel.dims)]
     lines = [
@@ -199,12 +238,110 @@ def generate_halide_cpp(kernel: LiftedKernel, output_file: str = "halide_out_0")
             lines.append(f"  {kernel.output}({var_list}) = 0;")
         lines.append(f"  {kernel.output}({index}) =")
         lines.append(f"    {update};")
+    schedule_decls, schedule_lines = _schedule_cpp_lines(
+        kernel.output, schedule, variables)
+    if schedule_decls:
+        lines.append("  Var " + ", ".join(schedule_decls) + ";")
+    lines.extend(schedule_lines)
     lines.append("  vector<Argument> args;")
     for name in input_names:
         lines.append(f"  args.push_back({name});")
     for param in kernel.parameters:
         lines.append(f"  args.push_back({param.name});")
     lines.append(f"  {kernel.output}.compile_to_file(\"{output_file}\",args);")
+    lines.append("  return 0;")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _cpp_identifier(name: str) -> str:
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return cleaned if cleaned and not cleaned[0].isdigit() else f"f_{cleaned}"
+
+
+def generate_pipeline_halide_cpp(pipeline,
+                                 output_file: str = "halide_pipeline_0") -> str:
+    """Emit Halide C++ for a multi-stage pipeline, schedules included.
+
+    Each :class:`~repro.halide.pipeline.FuncStage` becomes one Halide Func
+    reading its predecessor (stage padding folded into the tap offsets, the
+    input behind ``BoundaryConditions::repeat_edge`` — the same clamped
+    borders the lowered loop-nest IR executes offline), and the stages'
+    compute levels emit as real Halide ``compute_root()`` /
+    ``compute_at(consumer, var)`` schedule calls.
+    """
+    from ..halide.lower import _pad_pairs, _retarget
+
+    stages = pipeline.stages
+    if not stages:
+        raise ValueError("cannot emit an empty pipeline")
+    rank = stages[0].func.dimensions
+    variables = [f"x_{d}" for d in range(rank)]
+    input_name = stages[0].input_name
+    input_dtype = "UInt(8)"
+    for image_param in stages[0].func.inputs:
+        if image_param.name == input_name:
+            input_dtype = image_param.dtype.halide_name()
+    lines = [
+        "#include <Halide.h>",
+        "#include <vector>",
+        "using namespace std;",
+        "using namespace Halide;",
+        "",
+        "int main(){",
+    ]
+    for name in variables:
+        lines.append(f"  Var {name};")
+    lines.append(f"  ImageParam {input_name}({input_dtype},{rank});")
+    parameters: dict[str, Param] = {}
+    for stage in stages:
+        for node in stage.func.value.walk():
+            if isinstance(node, Param):
+                parameters.setdefault(node.name, node)
+    for param in parameters.values():
+        lines.append(f"  Param<{param.dtype.halide_cast_name()}> {param.name};")
+    clamped = f"{input_name}_clamped"
+    lines.append(f"  Func {clamped} = "
+                 f"BoundaryConditions::repeat_edge({input_name});")
+
+    stage_names = [_cpp_identifier(stage.name) for stage in stages]
+    previous = clamped
+    var_list = ",".join(variables)
+    for index, stage in enumerate(stages):
+        pad_before = [pair[0] for pair in _pad_pairs(stage, rank)]
+        delta = [-pad_before[rank - 1 - p] for p in range(rank)]
+        expr = _retarget(stage.func.value, stage.input_name, previous,
+                         delta_by_pos=delta)
+        lines.append(f"  Func {stage_names[index]};")
+        lines.append(f"  {stage_names[index]}({var_list}) =")
+        lines.append(f"    {_cpp_expr(Cast(stage.func.dtype, expr))};")
+        previous = stage_names[index]
+
+    declared: list[str] = []
+    schedule_lines: list[str] = []
+    for index, stage in enumerate(stages):
+        consumer = stage_names[index + 1] if index + 1 < len(stages) else None
+        consumer_schedule = stages[index + 1].func.schedule \
+            if index + 1 < len(stages) else None
+        consumer_tiled = bool(consumer_schedule
+                              and consumer_schedule.tile_x > 0
+                              and consumer_schedule.tile_y > 0)
+        decls, calls = _schedule_cpp_lines(
+            stage_names[index], stage.func.schedule, variables,
+            consumer=consumer, consumer_tiled=consumer_tiled)
+        for decl in decls:
+            if decl not in declared:
+                declared.append(decl)
+        schedule_lines.extend(calls)
+    if declared:
+        lines.append("  Var " + ", ".join(declared) + ";")
+    lines.extend(schedule_lines)
+
+    lines.append("  vector<Argument> args;")
+    lines.append(f"  args.push_back({input_name});")
+    for param in parameters.values():
+        lines.append(f"  args.push_back({param.name});")
+    lines.append(f"  {stage_names[-1]}.compile_to_file(\"{output_file}\",args);")
     lines.append("  return 0;")
     lines.append("}")
     return "\n".join(lines) + "\n"

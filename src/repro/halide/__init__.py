@@ -16,6 +16,13 @@ standing in for OpenTuner round out the front end.
 
 from .func import Func, ImageParam, RDom, Schedule, Var
 from .realize import ENGINES, realize, realize_interp, set_default_engine
+from .backends import Backend, backend_names, get_backend
+from .lower import (
+    LoweredPipeline,
+    PipelineLoweringError,
+    StageDecision,
+    lower_pipeline,
+)
 from .compile import (
     CompiledKernel,
     clear_kernel_cache,
@@ -30,14 +37,18 @@ from .parallel import (
     reset_execution_stats,
 )
 from .serve import BatchResult, PipelineServer, realize_batch
-from .autotune import autotune
+from .autotune import PipelineTuneResult, autotune, autotune_pipeline
 from .pipeline import FuncPipeline, FuncStage, FusedPipeline, inline_producer
 
 __all__ = ["Func", "ImageParam", "RDom", "Schedule", "Var", "realize",
            "realize_interp", "set_default_engine", "ENGINES",
            "CompiledKernel", "compile_func", "kernel_cache_stats",
-           "clear_kernel_cache", "autotune", "FusedPipeline",
+           "clear_kernel_cache", "autotune", "autotune_pipeline",
+           "PipelineTuneResult", "FusedPipeline",
            "FuncPipeline", "FuncStage", "inline_producer",
            "ParallelFallbackWarning", "configure_pool", "execution_stats",
            "pool_size", "reset_execution_stats",
-           "BatchResult", "PipelineServer", "realize_batch"]
+           "BatchResult", "PipelineServer", "realize_batch",
+           "Backend", "backend_names", "get_backend",
+           "LoweredPipeline", "PipelineLoweringError", "StageDecision",
+           "lower_pipeline"]

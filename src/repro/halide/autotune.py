@@ -12,13 +12,19 @@ falls back to serial and would measure nothing different), and the shared
 worker pool is warmed before timing starts so no candidate pays thread
 startup.  The timings therefore reflect the real execution mode of every
 candidate, and ``Schedule.describe()`` on the winner says what actually ran.
+
+:func:`autotune_pipeline` extends the search to multi-stage pipelines, where
+the space also includes each producer's **compute level** — legacy inline
+fusion, ``compute_root``, or ``compute_at`` anchored in its consumer's tile
+loop — so the tuner explores the locality/recompute trade-off the lowered
+loop-nest IR (:mod:`repro.halide.lower`) exposes.
 """
 
 from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from .func import Func, Schedule
 from .parallel import parallel_enabled, pool_size, warm_pool
@@ -99,3 +105,97 @@ def autotune(func: Func, shape, buffers, params=None, iterations: int = 10,
     func.schedule = best_schedule
     return TuneResult(best_schedule=best_schedule, best_time=best_time,
                       evaluations=len(history), history=history)
+
+
+# ---------------------------------------------------------------------------
+# Pipeline-level tuning: tiles + parallelism + compute levels
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PipelineTuneResult:
+    """Outcome of a pipeline autotuning session.
+
+    ``best_schedules`` holds one :class:`Schedule` per stage (the winning
+    compute levels included); ``history`` pairs each candidate's per-stage
+    ``describe()`` strings with its measured time.
+    """
+
+    best_schedules: list[Schedule]
+    best_time: float
+    evaluations: int
+    history: list[tuple[tuple[str, ...], float]]
+
+
+def _sample_pipeline_schedules(pipeline, rng: random.Random) -> list[Schedule]:
+    """One random per-stage schedule assignment.
+
+    The output stage draws tiles/parallelism like :func:`_sample_schedule`;
+    every producer draws a compute level: ``default`` (legacy stage-by-stage
+    with pointwise inline fusion), ``root``, or — when the consumer can
+    anchor it — ``at`` the consumer's second-innermost variable.
+    """
+    stages = pipeline.stages
+    out_schedule = _sample_schedule(rng)
+    out_schedule.compute = "root" if rng.random() < 0.7 else "default"
+    schedules: list[Schedule] = []
+    for index, stage in enumerate(stages[:-1]):
+        consumer = stages[index + 1]
+        choice = rng.choice(("default", "root", "at"))
+        schedule = Schedule()
+        if choice == "at" and len(consumer.func.variables) >= 1:
+            anchor_var = consumer.func.variables[
+                1 if len(consumer.func.variables) >= 2 else 0]
+            schedule.compute = "at"
+            schedule.compute_at = (consumer.name, anchor_var.name)
+        elif choice == "root":
+            schedule.compute = "root"
+        schedules.append(schedule)
+    schedules.append(out_schedule)
+    return schedules
+
+
+def _apply_schedules(pipeline, schedules: list[Schedule]) -> None:
+    for stage, schedule in zip(pipeline.stages, schedules):
+        stage.func.schedule = schedule
+
+
+def _time_pipeline(pipeline, image, params, engine, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        pipeline.realize(image, params, engine=engine)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def autotune_pipeline(pipeline, image, params=None, iterations: int = 10,
+                      seed: int = 0, engine: str | None = None) -> PipelineTuneResult:
+    """Search per-stage schedules (incl. compute levels) for a pipeline.
+
+    Candidates that schedule a producer ``compute_at`` run through the
+    lowered loop-nest IR with tile-plus-ghost-zone scratch buffers; the
+    lowering demotes anchors it cannot bound (recorded in
+    ``FuncPipeline.describe``), so every candidate is safe to time.  The
+    pipeline is left carrying the best schedules found.
+    """
+    rng = random.Random(seed)
+    params = params or {}
+    warm_pool()
+    baseline = [replace(stage.func.schedule) for stage in pipeline.stages]
+    history: list[tuple[tuple[str, ...], float]] = []
+    best_schedules = baseline
+    best_time = _time_pipeline(pipeline, image, params, engine)
+    history.append((tuple(s.describe() for s in baseline), best_time))
+    for _ in range(iterations):
+        candidate = _sample_pipeline_schedules(pipeline, rng)
+        _apply_schedules(pipeline, candidate)
+        elapsed = _time_pipeline(pipeline, image, params, engine)
+        history.append((tuple(s.describe() for s in candidate), elapsed))
+        if elapsed < best_time:
+            best_time = elapsed
+            best_schedules = candidate
+    _apply_schedules(pipeline, best_schedules)
+    return PipelineTuneResult(best_schedules=list(best_schedules),
+                              best_time=best_time,
+                              evaluations=len(history), history=history)

@@ -1,0 +1,39 @@
+"""Execution backends behind a common interface.
+
+Every engine — the tree-walking interpreter (the bit-exactness oracle) and
+the compiled fused-NumPy engine — implements :class:`Backend`: whole-Func
+realization plus a region evaluator, which is the primitive the shared
+lowered-IR executor (:meth:`Backend.execute`) calls for every
+:class:`~repro.ir.stmt.Store` in a lowered pipeline.  Both backends are
+therefore *consumers of the same lowered loop nest*: scheduling decisions
+(compute_root / compute_at, tiling, parallel tiles) live in the
+:class:`~repro.halide.lower.LoweredPipeline`, not in the engines, and any
+future backend (C, LLVM, GPU) plugs in by implementing the same two
+primitives.
+"""
+
+from .base import Backend
+from .compiled import CompiledBackend
+from .interp import InterpBackend
+
+_BACKENDS: dict[str, Backend] = {
+    "interp": InterpBackend(),
+    "compiled": CompiledBackend(),
+}
+
+
+def backend_names() -> tuple[str, ...]:
+    return tuple(_BACKENDS)
+
+
+def get_backend(name: str) -> Backend:
+    """The registered backend for an engine name (``ValueError`` if none)."""
+    backend = _BACKENDS.get(name)
+    if backend is None:
+        raise ValueError(f"unknown engine {name!r}; expected one of "
+                         f"{tuple(_BACKENDS)}")
+    return backend
+
+
+__all__ = ["Backend", "CompiledBackend", "InterpBackend", "backend_names",
+           "get_backend"]

@@ -1,0 +1,306 @@
+"""The backend interface and the shared lowered-IR executor.
+
+A backend supplies two primitives:
+
+* :meth:`Backend.realize_func` — whole-Func realization (the legacy entry
+  point used by :func:`repro.halide.realize.realize`, including reductions);
+* :meth:`Backend.evaluate_region` — evaluate a *pure* Func vectorized over
+  one rectangular region (NumPy axis order), the primitive behind every
+  lowered :class:`~repro.ir.stmt.Store`.
+
+Everything else about executing a lowered pipeline — walking the loop nest,
+allocating scratch buffers, branching between interior and border stores,
+edge-replicating ghost zones, fanning parallel loops out across the shared
+worker pool — is backend-independent and lives in :meth:`Backend.execute`.
+That keeps the engines honest: the interpreter and the compiled engine run
+the *same* loop nest with the same bounds, so a differential test that
+compares them exercises the lowering itself, not two unrelated schedules.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ...ir import (
+    Allocate,
+    Block,
+    Expr,
+    For,
+    IfThenElse,
+    Let,
+    PadEdge,
+    ProducerConsumer,
+    Stmt,
+    Store,
+)
+from ...ir import BinOp, Const, Op, Param, UnOp, Var
+from ..parallel import choose_tile_executor, record_execution, submit_task
+from ..realize import RealizationError, _evaluate
+
+_SCALAR_OPS = {
+    Op.ADD: lambda a, b: a + b,
+    Op.SUB: lambda a, b: a - b,
+    Op.MUL: lambda a, b: a * b,
+    Op.MIN: min,
+    Op.MAX: max,
+    Op.AND: lambda a, b: a & b,
+    Op.OR: lambda a, b: a | b,
+    Op.LT: lambda a, b: int(a < b),
+    Op.LE: lambda a, b: int(a <= b),
+    Op.GT: lambda a, b: int(a > b),
+    Op.GE: lambda a, b: int(a >= b),
+    Op.EQ: lambda a, b: int(a == b),
+    Op.NE: lambda a, b: int(a != b),
+}
+
+
+def _scalar_expr(expr, env: Mapping, params: Mapping) -> int:
+    """Fast integer evaluation of loop-nest scalar expressions.
+
+    The lowering builds bounds from Const/Var/Param and
+    add/sub/mul/min/max/comparison nodes; evaluating them through the
+    vectorized interpreter would allocate a NumPy array per node, which
+    dominates small-tile execution.  Anything outside that vocabulary falls
+    back to the interpreter for full generality.
+    """
+    kind = type(expr)
+    if kind is Const:
+        return int(expr.value)
+    if kind is Var:
+        value = env.get(expr.name)
+        if value is None:
+            raise RealizationError(f"unbound loop variable {expr.name}")
+        return int(value)
+    if kind is Param:
+        return int(params.get(expr.name, expr.value))
+    if kind is BinOp:
+        fn = _SCALAR_OPS.get(expr.op)
+        if fn is not None:
+            return fn(_scalar_expr(expr.a, env, params),
+                      _scalar_expr(expr.b, env, params))
+    if kind is UnOp and expr.op == Op.NEG:
+        return -_scalar_expr(expr.a, env, params)
+    return int(_evaluate(expr, env, {}, params))
+
+
+class _ExecState:
+    """Per-execution bookkeeping shared by the Stmt walkers."""
+
+    __slots__ = ("params", "stats", "frame_shape", "lock")
+
+    def __init__(self, params: dict, stats: dict, frame_shape: tuple) -> None:
+        self.params = params
+        self.stats = stats
+        self.frame_shape = frame_shape
+        self.lock = threading.Lock()
+
+    def tally(self, key: str, amount: int = 1) -> None:
+        with self.lock:
+            self.stats[key] = self.stats.get(key, 0) + amount
+
+    def track_scratch(self, name: str, shape: tuple[int, ...]) -> None:
+        with self.lock:
+            elems = 1
+            for extent in shape:
+                elems *= extent
+            peak = self.stats.get("scratch_peak_elems", 0)
+            if elems > peak:
+                self.stats["scratch_peak_elems"] = elems
+            shapes = self.stats.setdefault("scratch_shapes", {})
+            previous = shapes.get(name)
+            if previous is None or elems > int(np.prod(previous)):
+                shapes[name] = tuple(shape)
+
+
+def _scalar(value, env: Mapping, params: Mapping) -> int:
+    """Evaluate a loop-nest scalar (int, or Expr over loop vars/params)."""
+    if isinstance(value, int):
+        return value
+    return _scalar_expr(value, env, params)
+
+
+class Backend:
+    """Interface every execution engine implements."""
+
+    name: str = ""
+
+    # -- primitives ----------------------------------------------------------
+
+    def realize_func(self, func, shape: tuple[int, ...],
+                     buffers: Mapping[str, np.ndarray],
+                     params: Mapping[str, float]) -> np.ndarray:
+        """Realize one Func over its output domain (innermost-first shape)."""
+        raise NotImplementedError
+
+    def evaluate_region(self, func, origin: tuple[int, ...],
+                        extent: tuple[int, ...],
+                        buffers: Mapping[str, np.ndarray],
+                        params: Mapping[str, float]) -> np.ndarray:
+        """Evaluate a pure Func over one region (NumPy axis order)."""
+        raise NotImplementedError
+
+    def region_evaluator(self, func):
+        """A reusable ``fn(origin, extent, buffers, params)`` for one Func.
+
+        Backends that pay a per-call lookup (the compiled kernel cache key)
+        override this to resolve it once; the executor memoizes the result
+        on each Store node.
+        """
+        def evaluate(origin, extent, buffers, params):
+            return self.evaluate_region(func, origin, extent, buffers, params)
+        return evaluate
+
+    # -- lowered-IR execution ------------------------------------------------
+
+    def execute(self, lowered, image: np.ndarray,
+                params: Mapping[str, float] | None = None,
+                stats: Optional[dict] = None) -> np.ndarray:
+        """Run a :class:`~repro.halide.lower.LoweredPipeline` on one frame.
+
+        ``stats``, when given, is filled with execution counters: stores,
+        allocations, per-buffer peak scratch shapes, ``scratch_peak_elems``
+        and parallel/serial loop tallies — the numbers the locality
+        benchmark and ``--explain`` report.
+        """
+        frame = np.asarray(image)
+        if frame.shape != lowered.frame_shape:
+            raise RealizationError(
+                f"lowered pipeline expects frame {lowered.frame_shape}, "
+                f"got {frame.shape}")
+        buffers: dict[str, np.ndarray] = {lowered.input_name: frame}
+        output = np.empty(lowered.frame_shape,
+                          dtype=lowered.out_dtype.to_numpy())
+        buffers[lowered.output] = output
+        state = _ExecState(params=dict(params or {}),
+                           stats=stats if stats is not None else {},
+                           frame_shape=lowered.frame_shape)
+        self._exec(lowered.stmt, {}, buffers, state)
+        return output
+
+    def _exec(self, stmt: Stmt, env: dict, buffers: dict,
+              state: _ExecState) -> None:
+        if isinstance(stmt, Block):
+            for inner in stmt.stmts:
+                self._exec(inner, env, buffers, state)
+            return
+        if isinstance(stmt, Let):
+            env[stmt.name] = _scalar(stmt.value, env, state.params)
+            self._exec(stmt.body, env, buffers, state)
+            return
+        if isinstance(stmt, For):
+            self._exec_for(stmt, env, buffers, state)
+            return
+        if isinstance(stmt, Allocate):
+            extents = tuple(_scalar(e, env, state.params)
+                            for e in stmt.extents)
+            buffers[stmt.buffer] = np.empty(extents,
+                                            dtype=stmt.dtype.to_numpy())
+            state.tally("allocations")
+            state.track_scratch(stmt.buffer, extents)
+            try:
+                self._exec(stmt.body, env, buffers, state)
+            finally:
+                del buffers[stmt.buffer]
+            return
+        if isinstance(stmt, ProducerConsumer):
+            self._exec(stmt.produce, env, buffers, state)
+            self._exec(stmt.consume, env, buffers, state)
+            return
+        if isinstance(stmt, IfThenElse):
+            if _scalar(stmt.condition, env, state.params) != 0:
+                self._exec(stmt.then_case, env, buffers, state)
+            elif stmt.else_case is not None:
+                self._exec(stmt.else_case, env, buffers, state)
+            return
+        if isinstance(stmt, Store):
+            self._exec_store(stmt, env, buffers, state)
+            return
+        if isinstance(stmt, PadEdge):
+            self._exec_pad_edge(stmt, env, buffers, state)
+            return
+        raise RealizationError(f"cannot execute {type(stmt).__name__}")
+
+    def _exec_for(self, stmt: For, env: dict, buffers: dict,
+                  state: _ExecState) -> None:
+        start = _scalar(stmt.min, env, state.params)
+        count = _scalar(stmt.extent, env, state.params)
+        if count <= 0:
+            return
+        if stmt.kind == "parallel":
+            # Iterations write disjoint regions (the lowering's contract),
+            # so fan-out order cannot change results.  Each iteration gets
+            # its own buffer scope: scratch allocated inside the loop body
+            # stays thread-private, while the shared full-frame arrays are
+            # reached through the same references.
+            if choose_tile_executor(state.frame_shape, count):
+                futures = [
+                    submit_task(self._exec, stmt.body,
+                                {**env, stmt.name: start + index},
+                                dict(buffers), state)
+                    for index in range(count)]
+                for future in futures:
+                    future.result()
+                record_execution(True, count)
+                state.tally("parallel_loops")
+                return
+            record_execution(False, count)
+            state.tally("serial_loops")
+        iter_env = dict(env)
+        for index in range(count):
+            iter_env[stmt.name] = start + index
+            self._exec(stmt.body, iter_env, buffers, state)
+
+    def _exec_store(self, stmt: Store, env: dict, buffers: dict,
+                    state: _ExecState) -> None:
+        params = state.params
+        if stmt.param_exprs:
+            params = dict(params)
+            for name, value in stmt.param_exprs.items():
+                params[name] = _scalar(value, env, state.params)
+        offset = tuple(_scalar(o, env, state.params) for o in stmt.offset)
+        extent = tuple(_scalar(e, env, state.params) for e in stmt.extent)
+        if any(e <= 0 for e in extent):
+            return
+        eval_origin = tuple(_scalar(o, env, state.params)
+                            for o in stmt.eval_origin)
+        evaluate = stmt.cache.get(self.name)
+        if evaluate is None:
+            evaluate = self.region_evaluator(stmt.func)
+            stmt.cache[self.name] = evaluate
+        block = evaluate(eval_origin, extent, buffers, params)
+        target = buffers.get(stmt.buffer)
+        if target is None:
+            raise RealizationError(f"no buffer {stmt.buffer} to store into")
+        region = tuple(slice(o, o + e) for o, e in zip(offset, extent))
+        target[region] = block
+        state.tally("stores")
+
+    def _exec_pad_edge(self, stmt: PadEdge, env: dict, buffers: dict,
+                       state: _ExecState) -> None:
+        array = buffers.get(stmt.buffer)
+        if array is None:
+            raise RealizationError(f"no buffer {stmt.buffer} to pad")
+        offset = [_scalar(o, env, state.params) for o in stmt.offset]
+        extent = [_scalar(e, env, state.params) for e in stmt.extent]
+        padded = False
+        for axis in range(array.ndim):
+            before = offset[axis]
+            after = array.shape[axis] - offset[axis] - extent[axis]
+            index = [slice(None)] * array.ndim
+            source = [slice(None)] * array.ndim
+            if before > 0:
+                index[axis] = slice(0, before)
+                source[axis] = slice(before, before + 1)
+                array[tuple(index)] = array[tuple(source)]
+                padded = True
+            if after > 0:
+                edge = offset[axis] + extent[axis]
+                index[axis] = slice(edge, array.shape[axis])
+                source[axis] = slice(edge - 1, edge)
+                array[tuple(index)] = array[tuple(source)]
+                padded = True
+        if padded:
+            state.tally("ghost_pads")

@@ -1,0 +1,28 @@
+"""The interpreter backend: the tree-walking oracle behind the interface.
+
+Whole-Func realization and region evaluation both walk the expression tree
+with vectorized NumPy ops (:mod:`repro.halide.realize`); schedules are
+ignored.  Every other engine is validated bit-for-bit against this one —
+including through the lowered loop-nest executor, where this backend runs
+the *same* Stmt tree the compiled engine runs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..realize import realize_interp, realize_region_interp
+from .base import Backend
+
+
+class InterpBackend(Backend):
+    name = "interp"
+
+    def realize_func(self, func, shape, buffers, params) -> np.ndarray:
+        return realize_interp(func, shape, buffers, params)
+
+    def evaluate_region(self, func, origin, extent, buffers,
+                        params: Mapping) -> np.ndarray:
+        return realize_region_interp(func, origin, extent, buffers, params)

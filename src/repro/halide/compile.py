@@ -61,6 +61,7 @@ from .realize import (
     _trunc_remainder,
     _wrap_cast,
     realize_interp,
+    realize_region_interp,
 )
 
 
@@ -795,10 +796,35 @@ class CompiledKernel:
     source: str = ""
     compute_dtype: str = ""
     parallel_capable: bool = False
+    #: The region body ``_body(origin, extent, buffers, params)`` (NumPy axis
+    #: order) of a pure kernel — the primitive the lowered ``Stmt`` executor
+    #: calls per Store; None for reduction-only kernels.
+    body: object = None
+    #: The Func this kernel realizes (for region-eval fallbacks).
+    func: object = None
+    #: True when the kernel narrowed its integer dtype *and* materializes
+    #: variable grids: region evaluations whose coordinates reach
+    #: ``VAR_BOUND`` must take the interpreter path instead (the narrow grid
+    #: would overflow), mirroring the guard in the kernel entry.
+    narrow_guard: bool = False
 
     def __call__(self, shape: tuple[int, ...], buffers: Mapping[str, np.ndarray],
                  params: Mapping[str, float]) -> np.ndarray:
         return self.fn(tuple(reversed(shape)), buffers, params)
+
+    def evaluate_region(self, origin: tuple[int, ...], extent: tuple[int, ...],
+                        buffers: Mapping[str, np.ndarray],
+                        params: Mapping[str, float]) -> np.ndarray:
+        """Evaluate the pure body over one region (NumPy axis order)."""
+        if self.body is None:
+            raise RealizationError(
+                "kernel has no pure region body (reduction-only Func)")
+        if self.narrow_guard and any(int(o) + int(e) >= VAR_BOUND
+                                     for o, e in zip(origin, extent)):
+            return realize_region_interp(self.func, origin, extent,
+                                         buffers, params)
+        return self.body(tuple(int(o) for o in origin),
+                         tuple(int(e) for e in extent), buffers, params)
 
 
 _KERNEL_CACHE: dict[tuple, CompiledKernel] = {}
@@ -890,7 +916,12 @@ def compile_func(func: Func) -> CompiledKernel:
                 kernel = CompiledKernel(
                     fn=lambda np_shape, buffers, params, _f=func: realize_interp(
                         _f, tuple(reversed(np_shape)), buffers, params),
-                    engine="interp-fallback")
+                    engine="interp-fallback",
+                    body=(None if func.value is None else
+                          lambda origin, extent, buffers, params, _f=func:
+                          realize_region_interp(_f, origin, extent, buffers,
+                                                params)),
+                    func=func)
         except BaseException as exc:       # unexpected codegen bug: unblock racers
             with _CACHE_LOCK:
                 # Guarded like the success path: after clear_kernel_cache a
@@ -954,9 +985,13 @@ def _build_kernel(func: Func) -> CompiledKernel:
     source = "\n".join(lines) + "\n"
     code = compile(source, f"<compiled kernel {func.name}>", "exec")
     exec(code, namespace)
+    body = namespace.get("_body") if func.value is not None else None
+    narrow_guard = emitter is not None and emitter.narrow \
+        and emitter.uses_var_grid
     return CompiledKernel(fn=namespace["_kernel"], engine="compiled",
                          source=source, compute_dtype=compute_dtype,
-                         parallel_capable=parallel_capable)
+                         parallel_capable=parallel_capable,
+                         body=body, func=func, narrow_guard=narrow_guard)
 
 
 def _emit_pure_body(func: Func, emitter: _DomainEmitter) -> tuple[list[str], str]:

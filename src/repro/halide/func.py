@@ -52,6 +52,19 @@ class Schedule:
     pool (see :mod:`repro.halide.parallel`), and ``fuse_producers`` controls
     whether producer functions are inlined or materialized.
 
+    ``compute`` places the Func in a pipeline (its *materialization level*,
+    consumed by :mod:`repro.halide.lower`):
+
+    * ``"default"`` — legacy stage-by-stage realization (full-frame, padded
+      inputs); eligible for pointwise ``compute_inline`` fusion via
+      :meth:`FuncPipeline.fused`.
+    * ``"root"`` — explicitly materialized full-frame through the lowered
+      loop-nest IR (:func:`Func.compute_root`).
+    * ``"at"`` — materialized into a tile-plus-ghost-zone scratch buffer
+      once per iteration of the consumer loop named by ``compute_at``
+      (:func:`Func.compute_at`); ``compute_at`` is ``(consumer_name,
+      var_name)``.
+
     ``parallel`` is only honoured for tiled pure functions of rank >= 2 — an
     untiled schedule has no independent work units to distribute, so it falls
     back to serial execution (and :func:`describe` says so).  For the full
@@ -63,6 +76,8 @@ class Schedule:
     vectorize: bool = True
     parallel: bool = False
     fuse_producers: bool = True
+    compute: str = "default"
+    compute_at: Optional[tuple[str, str]] = None
 
     def describe(self) -> str:
         """A Halide-style summary of the schedule, honest about untiled
@@ -74,8 +89,15 @@ class Schedule:
         environment (pool size, kill switch) are outside a Schedule's view;
         consult :meth:`Func.execution_mode` /
         :meth:`Func.parallel_unsupported_reason` for the full answer.
+        Shape-dependent outcomes of ``compute_at`` — the inferred bounds and
+        scratch-buffer sizes — live one level up, in
+        :meth:`repro.halide.lower.LoweredPipeline.describe`.
         """
         parts = []
+        if self.compute == "root":
+            parts.append("compute_root")
+        elif self.compute == "at" and self.compute_at is not None:
+            parts.append(f"compute_at({self.compute_at[0]},{self.compute_at[1]})")
         if self.tile_x and self.tile_y:
             parts.append(f"tile({self.tile_x},{self.tile_y})")
         if self.vectorize:
@@ -85,7 +107,7 @@ class Schedule:
                 parts.append("parallel")
             else:
                 parts.append("parallel(serial:untiled)")
-        if self.fuse_producers:
+        if self.fuse_producers and self.compute == "default":
             parts.append("compute_inline")
         return ".".join(parts) if parts else "root"
 
@@ -143,6 +165,36 @@ class Func:
         :meth:`parallel_unsupported_reason`).
         """
         self.schedule.parallel = enabled
+        return self
+
+    def compute_root(self) -> "Func":
+        """Materialize this Func full-frame through the lowered loop nest.
+
+        In a :class:`~repro.halide.pipeline.FuncPipeline`, an explicit
+        ``compute_root`` stage is realized via the lowered ``Stmt`` IR
+        (:mod:`repro.halide.lower`): one full-frame buffer, borders handled
+        by clamped ghost reads instead of input padding.  Bit-identical to
+        the legacy padded stage-by-stage path.
+        """
+        self.schedule.compute = "root"
+        self.schedule.compute_at = None
+        return self
+
+    def compute_at(self, consumer: "Func | str", var: "IRVar | str") -> "Func":
+        """Materialize this Func per-iteration of ``consumer``'s loop ``var``.
+
+        Instead of a full-frame intermediate, the lowering allocates a
+        scratch buffer of tile-plus-ghost-zone size and fills it once per
+        consumer tile (or row strip, for an untiled consumer) — Halide's
+        locality scheduling.  ``var`` must be one of the consumer's pure
+        variables; which loop it anchors to is resolved at lowering time
+        against the consumer's own schedule (tiled consumers anchor at the
+        tile loops).
+        """
+        consumer_name = consumer if isinstance(consumer, str) else consumer.name
+        var_name = var if isinstance(var, str) else var.name
+        self.schedule.compute = "at"
+        self.schedule.compute_at = (consumer_name, var_name)
         return self
 
     def parallel_unsupported_reason(self) -> Optional[str]:

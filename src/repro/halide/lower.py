@@ -1,0 +1,996 @@
+"""Lowering: scheduled pipelines -> loop-nest ``Stmt`` IR with bounds inference.
+
+This is the layer a Halide-style compiler inserts between the scheduled
+front end and its backends.  :func:`lower_pipeline` takes a
+:class:`~repro.halide.pipeline.FuncPipeline` whose stages carry explicit
+compute levels (``compute_root`` / ``compute_at``) and produces a
+:class:`LoweredPipeline`: a :class:`~repro.ir.stmt.Stmt` tree that any
+backend (:mod:`repro.halide.backends`) can execute, plus a per-stage report
+of the scheduling decisions actually taken.
+
+The lowering performs **interval-based bounds inference**: required regions
+are propagated consumer -> producer through each stage's stencil footprint
+(the per-axis min/max of its shifted-window taps, with the stage's edge
+padding folded in), so a ``compute_at`` producer materializes exactly the
+tile-plus-ghost-zone region its consumer tile reads — never the full frame.
+Borders are handled by *clamping* instead of input padding: a region that
+pokes outside the frame is clamped to the frame and the missing ghost rows
+are edge-replicated (:class:`~repro.ir.stmt.PadEdge`), which is
+bit-identical to the ``np.pad(..., mode="edge")`` the legacy stage-by-stage
+realizer applies.  Tiles whose footprint stays inside the frame take a
+pure-shift fast path; border tiles take a clamped-index path — the
+:class:`~repro.ir.stmt.IfThenElse` split Halide calls loop partitioning.
+
+What demotes to ``compute_root`` (recorded in the report): taps into the
+producer that are not axis-aligned shifted windows (no finite footprint to
+infer bounds from), reduction stages on either side, and anchor names that
+do not match the consuming stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..ir import (
+    Allocate,
+    BinOp,
+    Block,
+    BufferAccess,
+    Const,
+    Expr,
+    For,
+    IfThenElse,
+    INT32,
+    Let,
+    Op,
+    PadEdge,
+    Param,
+    ProducerConsumer,
+    Stmt,
+    Store,
+    Var as IRVar,
+    canonicalize,
+)
+from .func import Func, Schedule
+
+
+class PipelineLoweringError(Exception):
+    """The pipeline cannot be lowered (e.g. reduction stages); callers fall
+    back to the legacy stage-by-stage realization path."""
+
+
+#: Default strip height for ``compute_at`` under an untiled consumer: the
+#: producer materializes per consumer row, Halide's ``compute_at(f, y)``.
+STRIP_HEIGHT = 1
+
+
+# ---------------------------------------------------------------------------
+# Scalar expression helpers (ints folded, Exprs built otherwise)
+# ---------------------------------------------------------------------------
+
+
+def _e(value) -> Expr:
+    return Const(int(value), INT32) if isinstance(value, int) else value
+
+
+def _add(a, b):
+    if isinstance(a, int) and isinstance(b, int):
+        return a + b
+    if isinstance(b, int) and b == 0:
+        return a
+    if isinstance(a, int) and a == 0:
+        return b
+    return BinOp(Op.ADD, _e(a), _e(b), INT32)
+
+
+def _sub(a, b):
+    if isinstance(a, int) and isinstance(b, int):
+        return a - b
+    if isinstance(b, int) and b == 0:
+        return a
+    return BinOp(Op.SUB, _e(a), _e(b), INT32)
+
+
+def _mul(a, b):
+    if isinstance(a, int) and isinstance(b, int):
+        return a * b
+    if isinstance(b, int) and b == 1:
+        return a
+    return BinOp(Op.MUL, _e(a), _e(b), INT32)
+
+
+def _min_(a, b):
+    if isinstance(a, int) and isinstance(b, int):
+        return min(a, b)
+    return BinOp(Op.MIN, _e(a), _e(b), INT32)
+
+
+def _max_(a, b):
+    if isinstance(a, int) and isinstance(b, int):
+        return max(a, b)
+    return BinOp(Op.MAX, _e(a), _e(b), INT32)
+
+
+def _clamp(value, lo, hi):
+    return _min_(_max_(value, lo), hi)
+
+
+def _and_(a: Optional[Expr], b: Expr) -> Expr:
+    return b if a is None else BinOp(Op.AND, a, b, INT32)
+
+
+class _Lets:
+    """Ordered scalar bindings for one loop body.
+
+    Region origins, extents and clamped bounds are shared by many statements
+    in a region; binding each once per iteration (a :class:`Let`) keeps the
+    executor's scalar evaluation O(1) per reference instead of re-walking a
+    growing bounds expression.
+    """
+
+    def __init__(self) -> None:
+        self.bindings: list[tuple[str, Expr]] = []
+
+    def bind(self, name: str, value):
+        if isinstance(value, (int, IRVar)):
+            return value                   # already trivial to evaluate
+        self.bindings.append((name, value))
+        return IRVar(name)
+
+    def wrap(self, stmt: Stmt) -> Stmt:
+        for name, value in reversed(self.bindings):
+            stmt = Let(name, value, stmt)
+        return stmt
+
+
+# ---------------------------------------------------------------------------
+# Footprints
+# ---------------------------------------------------------------------------
+
+
+def _shift_of_index(index: Expr) -> Optional[tuple[str, int]]:
+    """Match ``var``, ``var + c`` or ``c + var``; None for anything else."""
+    if isinstance(index, IRVar):
+        return index.name, 0
+    if isinstance(index, BinOp) and index.op == Op.ADD:
+        a, b = index.a, index.b
+        if isinstance(a, IRVar) and isinstance(b, Const) and isinstance(b.value, int):
+            return a.name, int(b.value)
+        if isinstance(b, IRVar) and isinstance(a, Const) and isinstance(a.value, int):
+            return b.name, int(a.value)
+    return None
+
+
+@dataclass
+class _Footprint:
+    """Per-NumPy-axis effective tap offsets of one stage into its input.
+
+    ``lo[a]``/``hi[a]`` bound the stencil reach along axis ``a`` *after*
+    folding in the stage's edge padding: an access ``input(x + o)`` into an
+    input padded by ``p`` reads unpadded coordinate ``x + o - p``, so its
+    effective offset is ``o - p``.  ``stencil`` is False when some tap is
+    not an axis-aligned shifted window (bounds not inferable).
+    """
+
+    lo: list[int]
+    hi: list[int]
+    stencil: bool = True
+    reads_input: bool = True
+
+
+def _stage_footprint(func: Func, input_name: str,
+                     pad_before: Sequence[int]) -> _Footprint:
+    rank = len(func.variables)
+    var_position = {v.name: p for p, v in enumerate(func.variables)}
+    lo: list[Optional[int]] = [None] * rank
+    hi: list[Optional[int]] = [None] * rank
+    stencil = True
+    any_access = False
+    if func.value is None:
+        return _Footprint([0] * rank, [0] * rank, stencil=False,
+                          reads_input=False)
+    for node in func.value.walk():
+        if not isinstance(node, BufferAccess) or node.buffer != input_name:
+            continue
+        any_access = True
+        if len(node.indices) != rank:
+            stencil = False
+            continue
+        offsets = []
+        for position, index in enumerate(node.indices):
+            shift = _shift_of_index(index)
+            if shift is None or var_position.get(shift[0]) != position:
+                offsets = None
+                break
+            offsets.append(shift[1])
+        if offsets is None:
+            stencil = False
+            continue
+        for position, offset in enumerate(offsets):
+            axis = rank - 1 - position
+            eff = offset - pad_before[axis]
+            lo[axis] = eff if lo[axis] is None else min(lo[axis], eff)
+            hi[axis] = eff if hi[axis] is None else max(hi[axis], eff)
+    lo = [0 if v is None else v for v in lo]
+    hi = [0 if v is None else v for v in hi]
+    if not any_access:
+        return _Footprint(lo, hi, stencil=stencil, reads_input=False)
+    return _Footprint(lo, hi, stencil=stencil)
+
+
+def _pad_pairs(stage, rank: int) -> list[tuple[int, int]]:
+    """The stage's ``np.pad`` amounts as (before, after) per NumPy axis."""
+    if stage.pad_width is not None:
+        pw = stage.pad_width
+        if isinstance(pw, int):
+            return [(pw, pw)] * rank
+        pw = tuple(pw)
+        if len(pw) == 2 and all(isinstance(v, int) for v in pw):
+            return [(int(pw[0]), int(pw[1]))] * rank
+        if len(pw) != rank:
+            raise PipelineLoweringError(
+                f"stage {stage.name}: pad_width {pw!r} does not match rank {rank}")
+        return [(int(b), int(a)) for b, a in pw]
+    return [(int(stage.pad), int(stage.pad))] * rank
+
+
+# ---------------------------------------------------------------------------
+# Expression retargeting
+# ---------------------------------------------------------------------------
+
+
+def _retarget(expr: Expr, input_name: str, target: str, *,
+              delta_by_pos: Optional[Sequence[int]] = None,
+              clamp_by_pos: Optional[Sequence[tuple[int, int, int]]] = None,
+              var_params: Optional[dict[str, Param]] = None) -> Expr:
+    """Rewrite every tap into ``input_name`` to read ``target`` instead.
+
+    Exactly one of the two index rewrites applies:
+
+    * ``delta_by_pos`` — shifted-window taps get their offsets adjusted by a
+      per-position constant (pure shifts stay pure shifts, keeping the
+      backends' dense window loads);
+    * ``clamp_by_pos`` — each index expression ``e`` becomes
+      ``clamp(e - pad, 0, dim - 1)`` with per-position ``(pad, 0, dim-1)``,
+      reproducing edge padding for border regions and complex taps.
+
+    ``var_params`` maps loop-variable names to :class:`Param` nodes added to
+    every occurrence *outside* the rewritten taps — the mechanism that keeps
+    expressions evaluated in tile-local coordinates correct when they also
+    use the loop variables directly (the Param carries the tile base).
+    """
+
+    def rec(node: Expr) -> Expr:
+        if isinstance(node, BufferAccess) and node.buffer == input_name:
+            new_indices = []
+            for position, index in enumerate(node.indices):
+                if delta_by_pos is not None:
+                    shift = _shift_of_index(index)
+                    if shift is None:
+                        # Complex index: keep it, add the delta (used by the
+                        # C++ emitter; lowering guards shift stores behind
+                        # the stencil check and never reaches this).
+                        rewritten = rec(index)
+                        delta = delta_by_pos[position]
+                        new_indices.append(
+                            rewritten if delta == 0
+                            else BinOp(Op.ADD, rewritten, Const(delta, INT32),
+                                       INT32))
+                        continue
+                    name, offset = shift
+                    new_offset = offset + delta_by_pos[position]
+                    var = IRVar(name)
+                    new_indices.append(
+                        var if new_offset == 0
+                        else BinOp(Op.ADD, var, Const(new_offset, INT32), INT32))
+                else:
+                    pad, lo, hi = clamp_by_pos[position]
+                    shifted = rec(index)
+                    if pad:
+                        shifted = BinOp(Op.SUB, shifted, Const(pad, INT32), INT32)
+                    new_indices.append(_clamp(shifted, Const(lo, INT32),
+                                              Const(hi, INT32)))
+            return BufferAccess(target, new_indices, node.dtype)
+        if isinstance(node, IRVar) and var_params and node.name in var_params:
+            return BinOp(Op.ADD, node, var_params[node.name], node.dtype)
+        children = [rec(child) for child in node.children]
+        if children != list(node.children):
+            return node.with_children(children)
+        return node
+
+    return rec(expr)
+
+
+def _used_params(expr: Expr, candidates: dict[str, object]) -> dict:
+    names = {node.name for node in expr.walk() if isinstance(node, Param)}
+    return {name: value for name, value in candidates.items() if name in names}
+
+
+# ---------------------------------------------------------------------------
+# Per-stage lowering state
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StageDecision:
+    """What the lowering actually did with one stage (for ``describe()``)."""
+
+    name: str
+    func_name: str
+    level: str                         # 'output', 'root' or 'at'
+    anchor: Optional[tuple[str, str]] = None
+    requested: str = "default"
+    demoted_reason: Optional[str] = None
+    footprint: Optional[list[tuple[int, int]]] = None   # per np axis (lo, hi)
+    scratch_extent: Optional[tuple[int, ...]] = None    # steady-state, np order
+    buffer: str = ""
+
+    def describe(self) -> str:
+        parts = [f"{self.name}: {self.level}"]
+        if self.level == "at" and self.anchor:
+            parts[0] = (f"{self.name}: compute_at({self.anchor[0]}, "
+                        f"{self.anchor[1]})")
+        elif self.level == "root":
+            parts[0] = f"{self.name}: compute_root"
+        if self.footprint is not None:
+            ghost = "x".join(f"[{lo},{hi}]" for lo, hi in self.footprint)
+            parts.append(f"consumer footprint {ghost}")
+        if self.scratch_extent is not None:
+            parts.append("scratch "
+                         + "x".join(str(e) for e in self.scratch_extent))
+        if self.demoted_reason:
+            parts.append(f"(demoted from {self.requested}: "
+                         f"{self.demoted_reason})")
+        return ", ".join(parts)
+
+
+@dataclass
+class _StageCtx:
+    index: int
+    stage: object                      # FuncStage
+    func: Func
+    input_buffer: str                  # resolved buffer id the taps read
+    output_buffer: str                 # resolved buffer id this stage writes
+    pad_before: list[int]
+    footprint: _Footprint              # taps into its own input
+    level: str                         # 'output' | 'root' | 'at'
+    decision: StageDecision = None
+
+
+@dataclass
+class LoweredPipeline:
+    """A pipeline lowered to the ``Stmt`` IR, ready for any backend."""
+
+    stmt: Stmt
+    input_name: str                    # buffer name bound to the frame image
+    output: str                        # buffer name holding the result
+    frame_shape: tuple[int, ...]       # NumPy order
+    out_dtype: object
+    decisions: list[StageDecision] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """Per-stage scheduling decisions plus the lowered loop nest."""
+        lines = [f"lowered pipeline over frame {list(self.frame_shape)}"]
+        for decision in self.decisions:
+            lines.append("  " + decision.describe())
+        lines.append("loop nest:")
+        lines.extend("  " + line for line in self.stmt.pretty().splitlines())
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# The lowering
+# ---------------------------------------------------------------------------
+
+
+class _Lowerer:
+    def __init__(self, pipeline, frame_shape: tuple[int, ...]) -> None:
+        self.pipeline = pipeline
+        self.frame_shape = tuple(int(d) for d in frame_shape)
+        self.rank = len(self.frame_shape)
+
+    # -- stage classification ------------------------------------------------
+
+    def _contexts(self) -> list[_StageCtx]:
+        stages = self.pipeline.stages
+        if not stages:
+            raise PipelineLoweringError("cannot lower an empty pipeline")
+        contexts: list[_StageCtx] = []
+        for index, stage in enumerate(stages):
+            func = stage.func
+            if func.reduction is not None or func.value is None:
+                raise PipelineLoweringError(
+                    f"stage {stage.name} has a reduction/undefined value; "
+                    "the legacy realization path handles it")
+            if len(func.variables) != self.rank:
+                raise PipelineLoweringError(
+                    f"stage {stage.name} rank {len(func.variables)} != frame "
+                    f"rank {self.rank}")
+            pad_before = [pair[0] for pair in _pad_pairs(stage, self.rank)]
+            footprint = _stage_footprint(func, stage.input_name, pad_before)
+            contexts.append(_StageCtx(
+                index=index, stage=stage, func=func,
+                input_buffer="", output_buffer="",
+                pad_before=pad_before, footprint=footprint, level="root"))
+
+        # Resolve compute levels back to front; the last stage is the output.
+        for index, ctx in enumerate(contexts):
+            schedule = ctx.func.schedule
+            requested = schedule.compute
+            is_last = index == len(contexts) - 1
+            level, reason, anchor = "root", None, None
+            if is_last:
+                level = "output"
+                if requested == "at":
+                    reason = "the output stage has no consumer to compute at"
+            elif requested == "at":
+                consumer = contexts[index + 1]
+                anchor = schedule.compute_at
+                consumer_names = {consumer.stage.name, consumer.func.name}
+                consumer_vars = {v.name for v in consumer.func.variables}
+                if anchor is None or anchor[0] not in consumer_names:
+                    reason = (f"compute_at consumer {anchor and anchor[0]!r} "
+                              f"is not the consuming stage "
+                              f"{consumer.stage.name!r}")
+                elif anchor[1] not in consumer_vars:
+                    reason = (f"anchor var {anchor[1]!r} is not a pure "
+                              f"variable of {consumer.stage.name}")
+                elif not consumer.footprint.stencil:
+                    reason = ("the consumer's taps are not an axis-aligned "
+                              "shifted window; bounds not inferable")
+                else:
+                    level = "at"
+            ctx.level = level
+            ctx.decision = StageDecision(
+                name=ctx.stage.name, func_name=ctx.func.name, level=level,
+                anchor=anchor if level == "at" else None,
+                requested=requested,
+                demoted_reason=reason)
+        # Record the consumer footprint on each producer's decision (that is
+        # the ghost zone its materialization carries).
+        for index, ctx in enumerate(contexts[:-1]):
+            consumer = contexts[index + 1]
+            if consumer.footprint.stencil:
+                ctx.decision.footprint = list(zip(consumer.footprint.lo,
+                                                  consumer.footprint.hi))
+        return contexts
+
+    # -- driver --------------------------------------------------------------
+
+    @staticmethod
+    def _group(contexts: list[_StageCtx]) -> list[tuple[_StageCtx, list[_StageCtx]]]:
+        """Group stages: each group is (consumer, [compute_at chain into it])."""
+        groups: list[tuple[_StageCtx, list[_StageCtx]]] = []
+        chain: list[_StageCtx] = []
+        for ctx in contexts:
+            if ctx.level == "at":
+                chain.append(ctx)
+            else:
+                groups.append((ctx, chain))
+                chain = []
+        return groups
+
+    def _loop_extremes(self, consumer: _StageCtx) -> tuple[list[int], list[int]]:
+        """Smallest first-tile and last-tile extents per axis of the
+        consumer's loop nest (the worst cases for border regions)."""
+        rank = self.rank
+        schedule = consumer.func.schedule
+        first = list(self.frame_shape)
+        last = list(self.frame_shape)
+
+        def split(axis: int, step: int) -> None:
+            dim = self.frame_shape[axis]
+            first[axis] = min(step, dim)
+            remainder = dim % step
+            last[axis] = remainder if (remainder and dim > step) \
+                else min(step, dim)
+
+        if schedule.tile_x > 0 and schedule.tile_y > 0 and rank >= 2:
+            split(rank - 2, schedule.tile_y)
+            split(rank - 1, schedule.tile_x)
+        else:
+            split(rank - 2 if rank >= 2 else 0, STRIP_HEIGHT)
+        return first, last
+
+    def _demote_unsafe_regions(self, contexts: list[_StageCtx]) -> None:
+        """Demote compute_at stages whose required region can fall entirely
+        outside the frame for some border tile.
+
+        The clamped-region machinery handles regions *straddling* the frame
+        edge; a region with no in-domain point at all (a one-sided footprint
+        at least as deep as a border tile) has nothing to snap to inside its
+        own allocation, so those geometries take the full-frame path instead.
+        The check is static: frame shape, tile extents and accumulated
+        footprints are all known at lowering time.
+        """
+        while True:
+            demoted = False
+            for consumer, chain in self._group(contexts):
+                if not chain:
+                    continue
+                first, last = self._loop_extremes(consumer)
+                acc_lo = [0] * self.rank
+                acc_hi = [0] * self.rank
+                readers = chain[1:] + [consumer]
+                for ctx, reader in zip(reversed(chain), reversed(readers)):
+                    fp = reader.footprint
+                    acc_lo = [a + fp.lo[i] for i, a in enumerate(acc_lo)]
+                    acc_hi = [a + fp.hi[i] for i, a in enumerate(acc_hi)]
+                    bad = next((axis for axis in range(self.rank)
+                                if first[axis] - 1 + acc_hi[axis] < 0
+                                or acc_lo[axis] > last[axis] - 1), None)
+                    if bad is None:
+                        continue
+                    ctx.level = "root"
+                    ctx.decision.level = "root"
+                    ctx.decision.anchor = None
+                    ctx.decision.demoted_reason = (
+                        f"a border tile of {consumer.stage.name} can require "
+                        f"a region of {ctx.stage.name} entirely outside the "
+                        f"frame (accumulated footprint "
+                        f"[{acc_lo[bad]},{acc_hi[bad]}] on axis {bad}, tile "
+                        f"extents down to {min(first[bad], last[bad])})")
+                    demoted = True
+                    break
+                if demoted:
+                    break                  # regroup and re-check from scratch
+            if not demoted:
+                return
+
+    def lower(self) -> LoweredPipeline:
+        contexts = self._contexts()
+        self._demote_unsafe_regions(contexts)
+        frame_input = contexts[0].stage.input_name
+
+        # Buffer naming: frame input feeds stage 0; every root stage gets a
+        # full-frame intermediate; compute_at stages get per-region scratch.
+        for index, ctx in enumerate(contexts):
+            ctx.input_buffer = frame_input if index == 0 \
+                else contexts[index - 1].output_buffer
+            if ctx.level == "output":
+                ctx.output_buffer = f"{ctx.stage.name}.out"
+            elif ctx.level == "root":
+                ctx.output_buffer = f"{ctx.stage.name}.root#{index}"
+            else:
+                ctx.output_buffer = f"{ctx.stage.name}.scratch#{index}"
+            ctx.decision.buffer = ctx.output_buffer
+
+        groups = self._group(contexts)
+
+        # Build back to front so each root group wraps everything after it.
+        stmt: Optional[Stmt] = None
+        for consumer, at_chain in reversed(groups):
+            group_stmt = self._lower_group(consumer, at_chain)
+            if stmt is None:
+                stmt = group_stmt
+            else:
+                stmt = Allocate(
+                    consumer.output_buffer, consumer.func.dtype,
+                    tuple(self.frame_shape),
+                    Block([ProducerConsumer(consumer.stage.name,
+                                            group_stmt, stmt)]))
+        return LoweredPipeline(
+            stmt=stmt, input_name=frame_input,
+            output=contexts[-1].output_buffer,
+            frame_shape=self.frame_shape,
+            out_dtype=contexts[-1].func.dtype,
+            decisions=[ctx.decision for ctx in contexts])
+
+    # -- group lowering ------------------------------------------------------
+
+    def _lower_group(self, consumer: _StageCtx,
+                     chain: list[_StageCtx]) -> Stmt:
+        schedule = consumer.func.schedule
+        rank = self.rank
+        tiled = (schedule.tile_x > 0 and schedule.tile_y > 0 and rank >= 2)
+        prefix = f"s{consumer.index}"
+
+        if tiled:
+            tile_w, tile_h = schedule.tile_x, schedule.tile_y
+            height = self.frame_shape[rank - 2]
+            width = self.frame_shape[rank - 1]
+            vy = IRVar(f"{consumer.stage.name}.tile_y")
+            vx = IRVar(f"{consumer.stage.name}.tile_x")
+            lets = _Lets()
+            oy = lets.bind(f"{prefix}.oy", _mul(vy, tile_h))
+            ox = lets.bind(f"{prefix}.ox", _mul(vx, tile_w))
+            ey = lets.bind(f"{prefix}.ey", _min_(tile_h, _sub(height, oy)))
+            ex = lets.bind(f"{prefix}.ex", _min_(tile_w, _sub(width, ox)))
+            origin = [0] * (rank - 2) + [oy, ox]
+            extent = list(self.frame_shape[:rank - 2]) + [ey, ex]
+            static_extent = (list(self.frame_shape[:rank - 2])
+                             + [min(tile_h, height), min(tile_w, width)])
+            body = lets.wrap(self._lower_region(
+                consumer, chain, origin, extent, lets, static_extent))
+            loops = For(vx.name, 0, -(-width // tile_w), body)
+            kind = "parallel" if (schedule.parallel
+                                  and consumer.func.parallel_unsupported_reason()
+                                  is None) else "serial"
+            return For(vy.name, 0, -(-height // tile_h), loops, kind=kind)
+
+        if chain:
+            # Untiled consumer with compute_at producers: row strips
+            # (Halide's compute_at(f, y)).
+            axis = rank - 2 if rank >= 2 else 0
+            extent_axis = self.frame_shape[axis]
+            var = IRVar(f"{consumer.stage.name}.strip")
+            lets = _Lets()
+            o_strip = lets.bind(f"{prefix}.oy", _mul(var, STRIP_HEIGHT))
+            origin = [0] * rank
+            extent = list(self.frame_shape)
+            static_extent = list(self.frame_shape)
+            origin[axis] = o_strip
+            extent[axis] = lets.bind(
+                f"{prefix}.ey", _min_(STRIP_HEIGHT, _sub(extent_axis, o_strip)))
+            static_extent[axis] = min(STRIP_HEIGHT, extent_axis)
+            body = lets.wrap(self._lower_region(
+                consumer, chain, origin, extent, lets, static_extent))
+            return For(var.name, 0, -(-extent_axis // STRIP_HEIGHT), body)
+
+        # Whole-frame store: split borders statically.
+        return self._lower_region(consumer, chain,
+                                  [0] * rank, list(self.frame_shape),
+                                  _Lets(), list(self.frame_shape), static=True)
+
+    def _lower_region(self, consumer: _StageCtx, chain: list[_StageCtx],
+                      origin: list, extent: list, lets: "_Lets",
+                      static_extent: list, static: bool = False) -> Stmt:
+        """The body computing ``consumer`` over one region, producing its
+        compute_at chain into scratch buffers first."""
+        if not chain:
+            return self._store_global(consumer, origin, extent, lets,
+                                      static=static)
+
+        # Bounds inference: required regions consumer -> producer, unclamped
+        # (the unclamped base keeps scratch offsets lowering-time constants).
+        regions: dict[int, tuple[list, list]] = {}
+        cur_origin, cur_extent = list(origin), list(extent)
+        cur_static = list(static_extent)
+        consumers = chain[1:] + [consumer]
+        for ctx, reader in zip(reversed(chain), reversed(consumers)):
+            fp = reader.footprint
+            prefix = f"s{ctx.index}"
+            cur_origin = [lets.bind(f"{prefix}.ro{a}", _add(o, fp.lo[a]))
+                          for a, o in enumerate(cur_origin)]
+            cur_extent = [lets.bind(f"{prefix}.re{a}",
+                                    _add(e, fp.hi[a] - fp.lo[a]))
+                          for a, e in enumerate(cur_extent)]
+            cur_static = [s + (fp.hi[a] - fp.lo[a])
+                          for a, s in enumerate(cur_static)]
+            regions[ctx.index] = (list(cur_origin), list(cur_extent))
+            ctx.decision.scratch_extent = tuple(cur_static)
+
+        stmt: Stmt = self._store_consume(consumer, chain[-1], origin, extent)
+        for position in range(len(chain) - 1, -1, -1):
+            ctx = chain[position]
+            r_origin, r_extent = regions[ctx.index]
+            if position == 0:
+                produce = self._produce_global(ctx, r_origin, r_extent, lets)
+            else:
+                produce = self._produce_local(ctx, r_origin, r_extent, lets)
+            stmt = ProducerConsumer(ctx.stage.name, produce, stmt)
+        for ctx in reversed(chain):
+            r_origin, r_extent = regions[ctx.index]
+            stmt = Allocate(ctx.output_buffer, ctx.func.dtype,
+                            tuple(r_extent), stmt)
+        return stmt
+
+    # -- stores --------------------------------------------------------------
+
+    def _clamped_region(self, ctx: _StageCtx, origin: list, extent: list,
+                        lets: "_Lets"):
+        """Clamp a required region to the stage's domain (the frame).
+
+        Returns (clamped origin, clamped extent, scratch offset) — the
+        clamped region is never empty (it snaps to the nearest in-domain
+        row/column, whose values the ghost zone replicates).
+        """
+        prefix = f"s{ctx.index}"
+        c_origin, c_extent, offset = [], [], []
+        for axis in range(self.rank):
+            dim = self.frame_shape[axis]
+            lo = lets.bind(f"{prefix}.co{axis}",
+                           _clamp(origin[axis], 0, dim - 1))
+            hi = lets.bind(
+                f"{prefix}.chi{axis}",
+                _clamp(_sub(_add(origin[axis], extent[axis]), 1), 0, dim - 1))
+            c_origin.append(lo)
+            c_extent.append(lets.bind(f"{prefix}.ce{axis}",
+                                      _add(_sub(hi, lo), 1)))
+            offset.append(lets.bind(f"{prefix}.coff{axis}",
+                                    _sub(lo, origin[axis])))
+        return c_origin, c_extent, offset
+
+    def _taps_interior_cond(self, fp: _Footprint, origin: list,
+                            extent: list) -> Optional[Expr]:
+        """Loop-var condition: every tap of this store stays in the input."""
+        cond: Optional[Expr] = None
+        for axis in range(self.rank):
+            dim = self.frame_shape[axis]
+            if fp.lo[axis] < 0:
+                term = _add(origin[axis], fp.lo[axis])
+                cond = _and_(cond, BinOp(Op.GE, _e(term), Const(0, INT32), INT32))
+            if fp.hi[axis] > 0:
+                term = _add(_add(origin[axis], extent[axis]), fp.hi[axis])
+                cond = _and_(cond, BinOp(Op.LE, _e(term), Const(dim, INT32), INT32))
+        return cond
+
+    def _store_func(self, ctx: _StageCtx, expr: Expr, variant: str) -> Func:
+        """A pure Func wrapping one store's rewritten expression.
+
+        The name is deterministic per (stage, variant) so the compiled
+        backend's kernel cache hits across tiles and across lowerings.
+        """
+        return Func(name=f"{ctx.stage.name}#{ctx.index}.{variant}",
+                    variables=list(ctx.func.variables),
+                    value=canonicalize(expr), dtype=ctx.func.dtype,
+                    inputs=list(ctx.func.inputs),
+                    schedule=Schedule(fuse_producers=False))
+
+    def _variant_funcs(self, ctx: _StageCtx):
+        """A memoizing ``func_for(variant)`` over the two store rewrites
+        (pure-shift interior vs clamped border) of one stage."""
+        cache: dict[str, Func] = {}
+
+        def func_for(variant: str) -> Func:
+            func = cache.get(variant)
+            if func is None:
+                expr = self._shift_expr(ctx) if variant == "interior" \
+                    else self._clamped_expr(ctx)
+                func = self._store_func(ctx, expr, variant)
+                cache[variant] = func
+            return func
+
+        return func_for
+
+    def _shift_expr(self, ctx: _StageCtx) -> Expr:
+        """Taps rewritten to pure shifts into the (unpadded) input buffer."""
+        delta = [-ctx.pad_before[self.rank - 1 - p] for p in range(self.rank)]
+        return _retarget(ctx.func.value, ctx.stage.input_name,
+                         ctx.input_buffer, delta_by_pos=delta)
+
+    def _clamped_expr(self, ctx: _StageCtx) -> Expr:
+        """Taps rewritten to clamped (edge-replicating) loads."""
+        clamp = []
+        for position in range(self.rank):
+            axis = self.rank - 1 - position
+            clamp.append((ctx.pad_before[axis], 0, self.frame_shape[axis] - 1))
+        return _retarget(ctx.func.value, ctx.stage.input_name,
+                         ctx.input_buffer, clamp_by_pos=clamp)
+
+    def _partitioned_stores(self, ctx: _StageCtx, origin: list, extent: list,
+                            make_store, lets: "_Lets", prefix: str) -> Stmt:
+        """Loop partitioning for one region store with a stencil footprint.
+
+        Fast path: when every tap of the whole region stays inside the input
+        (a runtime condition over the loop variables), a single pure-shift
+        store runs.  Otherwise the region splits into clamped border slabs
+        (thin: only the rows/columns whose taps actually leave the frame)
+        plus a pure-shift interior sub-store — so even a full-width strip
+        pays the gather cost only on its border rows.  ``make_store(origin,
+        extent, variant, label)`` builds the store for one piece.
+        """
+        fp = ctx.footprint
+        hi_index = [lets.bind(f"{prefix}.hi{a}",
+                              _sub(_add(origin[a], extent[a]), 1))
+                    for a in range(self.rank)]
+        interior_lo = [
+            lets.bind(f"{prefix}.ilo{a}", _max_(origin[a], -fp.lo[a]))
+            if fp.lo[a] < 0 else origin[a]
+            for a in range(self.rank)]
+        interior_hi = [
+            lets.bind(f"{prefix}.ihi{a}",
+                      _min_(hi_index[a], self.frame_shape[a] - 1 - fp.hi[a]))
+            if fp.hi[a] > 0 else hi_index[a]
+            for a in range(self.rank)]
+
+        pieces: list[Stmt] = []
+        for axis in range(self.rank):
+            def slab(lo_axis, extent_axis, label):
+                o, e = [], []
+                for a in range(self.rank):
+                    if a < axis:
+                        o.append(interior_lo[a])
+                        e.append(_add(_sub(interior_hi[a], interior_lo[a]), 1))
+                    elif a == axis:
+                        o.append(lo_axis)
+                        e.append(extent_axis)
+                    else:
+                        o.append(origin[a])
+                        e.append(extent[a])
+                return make_store(o, e, "clamped", label)
+
+            if fp.lo[axis] < 0:
+                pieces.append(slab(origin[axis],
+                                   _sub(interior_lo[axis], origin[axis]),
+                                   f"border-lo{axis}"))
+            if fp.hi[axis] > 0:
+                pieces.append(slab(_add(interior_hi[axis], 1),
+                                   _sub(hi_index[axis], interior_hi[axis]),
+                                   f"border-hi{axis}"))
+        pieces.append(make_store(
+            interior_lo,
+            [_add(_sub(interior_hi[a], interior_lo[a]), 1)
+             for a in range(self.rank)],
+            "interior", "interior"))
+
+        cond = self._taps_interior_cond(fp, origin, extent)
+        whole = make_store(origin, extent, "interior", "interior-whole")
+        if cond is None:
+            return whole
+        return IfThenElse(cond, whole, Block(pieces))
+
+    def _store_global(self, ctx: _StageCtx, origin: list, extent: list,
+                      lets: "_Lets", static: bool = False) -> Stmt:
+        """Store a stage over a region of its full-frame output buffer,
+        reading its (full-frame) input in global coordinates."""
+        fp = ctx.footprint
+        target = ctx.output_buffer
+        func_for = self._variant_funcs(ctx)
+
+        def make_store(o, e, variant, label):
+            return Store(buffer=target, offset=tuple(o), extent=tuple(e),
+                         func=func_for(variant), eval_origin=tuple(o),
+                         label=label)
+
+        if not fp.reads_input:
+            return make_store(origin, extent, "interior", "pointwise")
+        if not fp.stencil:
+            return make_store(origin, extent, "clamped", "complex-taps")
+        if all(fp.lo[a] == 0 and fp.hi[a] == 0 for a in range(self.rank)):
+            # Every tap reads exactly the output point: never out of bounds.
+            return make_store(origin, extent, "interior", "pointwise")
+        if not static:
+            return self._partitioned_stores(ctx, origin, extent, make_store,
+                                            lets, f"s{ctx.index}.g")
+
+        # Static whole-frame split: interior block + clamped border slabs,
+        # with all the bounds folded to constants at lowering time.
+        interior_lo = [max(0, -fp.lo[a]) for a in range(self.rank)]
+        interior_hi = [min(self.frame_shape[a] - 1,
+                           self.frame_shape[a] - 1 - fp.hi[a])
+                       for a in range(self.rank)]
+        if any(interior_hi[a] < interior_lo[a] for a in range(self.rank)):
+            return make_store(origin, extent, "clamped", "border-only")
+        stmts: list[Stmt] = []
+        for axis in range(self.rank):
+            def slab(lo_axis, hi_axis, label):
+                o, e = [], []
+                for a in range(self.rank):
+                    if a < axis:
+                        o.append(interior_lo[a])
+                        e.append(interior_hi[a] - interior_lo[a] + 1)
+                    elif a == axis:
+                        o.append(lo_axis)
+                        e.append(hi_axis - lo_axis + 1)
+                    else:
+                        o.append(0)
+                        e.append(self.frame_shape[a])
+                if any(ext <= 0 for ext in e):
+                    return None
+                return make_store(o, e, "clamped", label)
+
+            before = slab(0, interior_lo[axis] - 1, f"border-lo{axis}")
+            after = slab(interior_hi[axis] + 1, self.frame_shape[axis] - 1,
+                         f"border-hi{axis}")
+            for piece in (before, after):
+                if piece is not None:
+                    stmts.append(piece)
+        stmts.append(make_store(
+            interior_lo,
+            [interior_hi[a] - interior_lo[a] + 1 for a in range(self.rank)],
+            "interior", "interior"))
+        return Block(stmts)
+
+    def _produce_global(self, ctx: _StageCtx, origin: list, extent: list,
+                        lets: "_Lets") -> Stmt:
+        """Produce a compute_at stage whose input is a full-frame buffer.
+
+        Evaluates over the region clamped to the frame (global coordinates),
+        then edge-replicates the ghost rows the unclamped region wanted.
+        """
+        fp = ctx.footprint
+        c_origin, c_extent, offset = self._clamped_region(ctx, origin, extent,
+                                                          lets)
+        func_for = self._variant_funcs(ctx)
+
+        def make_store(o, e, variant, label):
+            # Scratch-relative write position: global minus the unclamped
+            # region base the allocation is aligned to.
+            scratch_offset = tuple(_sub(o[a], origin[a])
+                                   for a in range(self.rank))
+            return Store(buffer=ctx.output_buffer, offset=scratch_offset,
+                         extent=tuple(e), func=func_for(variant),
+                         eval_origin=tuple(o), label=label)
+
+        if not fp.reads_input:
+            body: Stmt = make_store(c_origin, c_extent, "interior", "produce")
+        elif not fp.stencil:
+            body = make_store(c_origin, c_extent, "clamped",
+                              "produce-complex")
+        elif all(fp.lo[a] == 0 and fp.hi[a] == 0 for a in range(self.rank)):
+            body = make_store(c_origin, c_extent, "interior", "produce")
+        else:
+            body = self._partitioned_stores(ctx, c_origin, c_extent,
+                                            make_store, lets,
+                                            f"s{ctx.index}.p")
+        return Block([body, PadEdge(ctx.output_buffer, tuple(offset),
+                                    tuple(c_extent))])
+
+    def _produce_local(self, ctx: _StageCtx, origin: list, extent: list,
+                       lets: "_Lets") -> Stmt:
+        """Produce a compute_at stage whose input is another scratch buffer.
+
+        Evaluation runs in coordinates local to this stage's unclamped
+        region base; taps into the upstream scratch become constant shifts,
+        and any direct use of the loop variables is corrected back to global
+        coordinates through per-tile Params.
+        """
+        fp = ctx.footprint
+        c_origin, c_extent, offset = self._clamped_region(ctx, origin, extent,
+                                                          lets)
+        # Tap rewrite: global tap (x_global + eff) lands in upstream scratch
+        # at (x_global + eff - upstream_base); with x evaluated relative to
+        # this region's base, the shift is eff - fp.lo — a constant.
+        delta = []
+        var_params: dict[str, Param] = {}
+        param_candidates: dict[str, object] = {}
+        for position in range(self.rank):
+            axis = self.rank - 1 - position
+            delta.append(-ctx.pad_before[axis] - fp.lo[axis])
+        for position, var in enumerate(ctx.func.variables):
+            axis = self.rank - 1 - position
+            name = f"_lower_base{ctx.index}_a{axis}"
+            var_params[var.name] = Param(name, 0, INT32)
+            param_candidates[name] = origin[axis]
+        expr = _retarget(ctx.func.value, ctx.stage.input_name,
+                         ctx.input_buffer, delta_by_pos=delta,
+                         var_params=var_params)
+        params = _used_params(expr, param_candidates)
+        # Evaluation origin: the clamped region start, relative to the
+        # unclamped base (scratch-local coordinates, equal to `offset`).
+        store = Store(buffer=ctx.output_buffer, offset=tuple(offset),
+                      extent=tuple(c_extent),
+                      func=self._store_func(ctx, expr, "local"),
+                      eval_origin=tuple(offset),
+                      param_exprs=params, label="produce-local")
+        return Block([store, PadEdge(ctx.output_buffer, tuple(offset),
+                                     tuple(c_extent))])
+
+    def _store_consume(self, consumer: _StageCtx, producer: _StageCtx,
+                       origin: list, extent: list) -> Stmt:
+        """The consumer's store, reading its producer's scratch buffer in
+        region-local coordinates."""
+        fp = consumer.footprint
+        delta = []
+        var_params: dict[str, Param] = {}
+        param_candidates: dict[str, object] = {}
+        for position in range(self.rank):
+            axis = self.rank - 1 - position
+            delta.append(-consumer.pad_before[axis] - fp.lo[axis])
+        for position, var in enumerate(consumer.func.variables):
+            axis = self.rank - 1 - position
+            name = f"_lower_base{consumer.index}_a{axis}"
+            var_params[var.name] = Param(name, 0, INT32)
+            param_candidates[name] = origin[axis]
+        expr = _retarget(consumer.func.value, consumer.stage.input_name,
+                         producer.output_buffer, delta_by_pos=delta,
+                         var_params=var_params)
+        params = _used_params(expr, param_candidates)
+        return Store(buffer=consumer.output_buffer, offset=tuple(origin),
+                     extent=tuple(extent),
+                     func=self._store_func(consumer, expr, "consume"),
+                     eval_origin=tuple([0] * self.rank),
+                     param_exprs=params, label="consume")
+
+
+def lower_pipeline(pipeline, frame_shape: Sequence[int]) -> LoweredPipeline:
+    """Lower a scheduled :class:`FuncPipeline` over a frame of this shape.
+
+    ``frame_shape`` is in NumPy (outermost-first) order.  Raises
+    :class:`PipelineLoweringError` when the pipeline cannot be expressed in
+    the loop-nest IR (reduction stages); the caller falls back to the legacy
+    stage-by-stage path.
+    """
+    return _Lowerer(pipeline, tuple(frame_shape)).lower()

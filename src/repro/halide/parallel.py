@@ -187,6 +187,18 @@ def choose_tile_executor(shape, tile_count: int) -> bool:
     return elems >= MIN_PARALLEL_ELEMS
 
 
+def record_execution(parallel: bool, tiles: int) -> None:
+    """Tally one realization's real execution mode in :data:`execution_stats`.
+
+    Used by :func:`run_tiles` and by the lowered-IR executor in
+    :mod:`repro.halide.backends.base`, so both tile-execution paths report
+    through the same counters.
+    """
+    with _stats_lock:
+        execution_stats["parallel" if parallel else "serial"] += 1
+        execution_stats["tiles_parallel" if parallel else "tiles_serial"] += tiles
+
+
 def run_tiles(body, out, tiles, buffers, params) -> None:
     """Execute ``body`` over every ``(origin, extent)`` tile into ``out``.
 
@@ -201,15 +213,11 @@ def run_tiles(body, out, tiles, buffers, params) -> None:
                    for origin, extent in tiles]
         for future in futures:
             future.result()
-        with _stats_lock:
-            execution_stats["parallel"] += 1
-            execution_stats["tiles_parallel"] += len(tiles)
+        record_execution(True, len(tiles))
         return
     for origin, extent in tiles:
         _run_one_tile(body, out, origin, extent, buffers, params)
-    with _stats_lock:
-        execution_stats["serial"] += 1
-        execution_stats["tiles_serial"] += len(tiles)
+    record_execution(False, len(tiles))
 
 
 def _run_one_tile(body, out, origin, extent, buffers, params) -> None:

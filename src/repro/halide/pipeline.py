@@ -144,10 +144,20 @@ def inline_producer(consumer: Func, consumer_input: str, producer: Func) -> Func
 
 
 class FuncPipeline:
-    """A pipeline of lifted Funcs realized stage by stage, with IR fusion."""
+    """A pipeline of lifted Funcs realized stage by stage, with IR fusion.
+
+    Stages carrying an explicit compute level (``func.compute_root()`` /
+    ``func.compute_at(consumer, var)``) are realized through the lowered
+    loop-nest IR (:mod:`repro.halide.lower`): bounds are inferred consumer
+    to producer, borders are clamped instead of padded, and ``compute_at``
+    producers materialize into tile-plus-ghost-zone scratch buffers instead
+    of full-frame temporaries.  Default-scheduled stages keep the legacy
+    padded stage-by-stage path; both are bit-identical.
+    """
 
     def __init__(self, stages: Sequence[FuncStage] | None = None) -> None:
         self.stages: list[FuncStage] = list(stages or [])
+        self._lowered_cache: dict = {}
 
     def add(self, func: Func, input_name: str = "input_1", pad: int = 0,
             pad_width: tuple | None = None, name: str | None = None) -> "FuncPipeline":
@@ -182,16 +192,100 @@ class FuncPipeline:
                                    pad_width=stage.pad_width))
         return FuncPipeline(fused)
 
+    def uses_lowering(self) -> bool:
+        """True when some stage asks for an explicit compute level."""
+        return any(stage.func.schedule.compute in ("root", "at")
+                   for stage in self.stages)
+
+    def _lowering_key(self, frame_shape: tuple[int, ...]) -> tuple:
+        parts = []
+        for stage in self.stages:
+            schedule = stage.func.schedule
+            parts.append((
+                stage.name, stage.input_name, stage.pad, stage.pad_width,
+                stage.func.name, stage.func.dtype,
+                stage.func.value.cached_key() if stage.func.value is not None
+                else None,
+                stage.func.reduction is not None,
+                schedule.compute, schedule.compute_at,
+                schedule.tile_x, schedule.tile_y, schedule.parallel))
+        return (tuple(frame_shape), tuple(parts))
+
+    #: Bound on memoized lowerings (per pipeline): serving mixed frame
+    #: shapes re-lowers per shape, and the memo must not grow with every
+    #: resolution ever seen.  Evicts least-recently-used beyond this.
+    MAX_LOWERED_CACHE = 8
+
+    def lower(self, frame_shape: tuple[int, ...]):
+        """The pipeline lowered over this frame shape (memoized, LRU-bounded).
+
+        Returns a :class:`~repro.halide.lower.LoweredPipeline`; raises
+        :class:`~repro.halide.lower.PipelineLoweringError` when the pipeline
+        cannot be expressed in the loop-nest IR (reduction stages).
+        """
+        from .lower import lower_pipeline
+
+        key = self._lowering_key(frame_shape)
+        lowered = self._lowered_cache.get(key)
+        if lowered is None:
+            lowered = lower_pipeline(self, frame_shape)
+        else:
+            del self._lowered_cache[key]         # re-insert as most recent
+        self._lowered_cache[key] = lowered
+        while len(self._lowered_cache) > self.MAX_LOWERED_CACHE:
+            self._lowered_cache.pop(next(iter(self._lowered_cache)))
+        return lowered
+
+    def describe(self, frame_shape: tuple[int, ...]) -> str:
+        """The real execution plan for this frame shape.
+
+        For scheduled pipelines: per-stage compute levels, inferred bounds,
+        scratch sizes and the lowered loop nest.  For default pipelines: the
+        legacy stage-by-stage plan.
+        """
+        if self.uses_lowering():
+            from .lower import PipelineLoweringError
+
+            try:
+                return self.lower(tuple(frame_shape)).describe()
+            except PipelineLoweringError as error:
+                return (f"legacy stage-by-stage realization "
+                        f"(lowering unavailable: {error})")
+        lines = ["legacy stage-by-stage realization:"]
+        for stage in self.stages:
+            lines.append(f"  {stage.name}: full-frame "
+                         f"[{stage.func.schedule.describe()}]"
+                         + (f" pad={stage.pad}" if stage.pad else ""))
+        return "\n".join(lines)
+
     def realize(self, image: np.ndarray, params: Mapping[str, float] | None = None,
-                engine: str | None = None) -> np.ndarray:
+                engine: str | None = None, stats: dict | None = None) -> np.ndarray:
         """Run the pipeline on one image (NumPy outermost-first layout).
 
-        Each stage pads its input as the app wrappers do, then realizes its
+        Pipelines with explicitly scheduled stages execute through the
+        lowered loop-nest IR on the selected backend (``stats``, when given,
+        collects store/allocation counters from that executor).  Otherwise
+        each stage pads its input as the app wrappers do, then realizes its
         Func through the selected engine (compiled by default); stage
         schedules — tiling and ``parallel`` — are honoured per stage.  For
         many images, prefer :meth:`realize_batch`, which overlaps whole
         requests across the worker pool.
         """
+        if self.uses_lowering():
+            from .lower import PipelineLoweringError
+
+            lowered = None
+            try:
+                lowered = self.lower(np.asarray(image).shape)
+            except PipelineLoweringError:
+                pass                       # reductions: legacy path below
+            if lowered is not None:
+                from .backends import get_backend
+                from .realize import get_default_engine
+
+                choice = engine if engine is not None else get_default_engine()
+                return get_backend(choice).execute(lowered, image, params,
+                                                   stats)
         current = image
         for stage in self.stages:
             if stage.pad_width is not None:

@@ -254,13 +254,9 @@ def realize(func: Func, shape: tuple[int, ...], buffers: Mapping[str, np.ndarray
     if func.value is None and func.reduction is None:
         raise RealizationError(f"function {func.name} has no definition")
     choice = engine if engine is not None else DEFAULT_ENGINE
-    if choice == "compiled":
-        from .compile import compile_func
+    from .backends import get_backend
 
-        return compile_func(func)(shape, buffers, params or {})
-    if choice != "interp":
-        raise ValueError(f"unknown engine {choice!r}; expected one of {ENGINES}")
-    return realize_interp(func, shape, buffers, params)
+    return get_backend(choice).realize_func(func, shape, buffers, params or {})
 
 
 def realize_interp(func: Func, shape: tuple[int, ...], buffers: Mapping[str, np.ndarray],
@@ -313,6 +309,36 @@ def realize_interp(func: Func, shape: tuple[int, ...], buffers: Mapping[str, np.
             values = _evaluate(update, env, buffers_with_output, params)
             output[np_index] = _wrap_cast(values, func.dtype).astype(func.dtype.to_numpy())
     return output
+
+
+def realize_region_interp(func: Func, origin: tuple[int, ...],
+                          extent: tuple[int, ...],
+                          buffers: Mapping[str, np.ndarray],
+                          params: Mapping[str, float] | None = None) -> np.ndarray:
+    """Evaluate a pure Func over one region via the tree-walking oracle.
+
+    ``origin``/``extent`` are in NumPy (outermost-first) axis order; the
+    variable grids start at ``origin``, so expressions see the same
+    coordinates a full-frame realization would.  This is the interpreter
+    backend's primitive for executing lowered ``Store`` nodes, and the
+    fallback the compiled backend uses when a store kernel cannot be
+    lowered.  The shifted-window fast path is deliberately not engaged —
+    values are identical either way, and the oracle stays obviously correct.
+    """
+    if func.value is None:
+        raise RealizationError(f"function {func.name} has no pure definition")
+    params = params or {}
+    np_shape = tuple(int(e) for e in extent)
+    grids = np.meshgrid(*[np.arange(int(o), int(o) + int(e))
+                          for o, e in zip(origin, extent)], indexing="ij") \
+        if np_shape else []
+    env = {}
+    for position, var in enumerate(func.variables):
+        env[var.name] = grids[len(np_shape) - 1 - position] if grids \
+            else np.asarray(0)
+    values = _evaluate(func.value, env, buffers, params)
+    output = np.broadcast_to(values, np_shape).copy()
+    return _wrap_cast(output, func.dtype).astype(func.dtype.to_numpy())
 
 
 def _strip_self_reference(update: Expr, name: str):

@@ -85,7 +85,8 @@ class PipelineServer:
 
     def __init__(self, target: Func | FuncPipeline, *,
                  max_pending: int | None = None,
-                 engine: str | None = None) -> None:
+                 engine: str | None = None,
+                 frame_shape: tuple[int, ...] | None = None) -> None:
         if not isinstance(target, (Func, FuncPipeline)):
             raise TypeError(f"cannot serve {type(target).__name__}; "
                             "expected Func or FuncPipeline")
@@ -100,15 +101,37 @@ class PipelineServer:
         self._closed = False
         self._stats = {"submitted": 0, "completed": 0, "failed": 0,
                        "busy_seconds": 0.0}
-        self._warm_compile()
+        self._warm_compile(frame_shape)
 
     # -- lifecycle -----------------------------------------------------------
 
-    def _warm_compile(self) -> None:
-        """Pay codegen up front so the serving path never compiles."""
+    def _warm_compile(self, frame_shape: tuple[int, ...] | None) -> None:
+        """Pay codegen up front so the serving path never compiles.
+
+        A :class:`FuncPipeline` with explicitly scheduled stages executes
+        through the lowered loop-nest IR, whose store kernels depend on the
+        frame shape; pass ``frame_shape`` (NumPy order) to lower and compile
+        them here too, otherwise they compile (once) on the first request.
+        """
         engine = self.engine if self.engine is not None else get_default_engine()
         if engine == "interp":
             return
+        if frame_shape is not None and isinstance(self.target, FuncPipeline) \
+                and self.target.uses_lowering():
+            from ..ir import Store
+            from .lower import PipelineLoweringError
+
+            try:
+                lowered = self.target.lower(tuple(frame_shape))
+            except PipelineLoweringError:
+                lowered = None               # legacy fallback: warm below
+            if lowered is not None:
+                # The lowered executor only runs store kernels; the
+                # per-stage whole-Func kernels would be dead weight.
+                for node in lowered.stmt.walk():
+                    if isinstance(node, Store):
+                        compile_func(node.func)
+                return
         funcs = [self.target] if isinstance(self.target, Func) \
             else [stage.func for stage in self.target.stages]
         for func in funcs:

@@ -20,6 +20,18 @@ from .expr import (
     substitute,
 )
 from .simplify import canonicalize, canonicalize_stats, clear_canonicalize_cache, evaluate, simplify
+from .stmt import (
+    Allocate,
+    Block,
+    For,
+    IfThenElse,
+    Let,
+    PadEdge,
+    ProducerConsumer,
+    Stmt,
+    Store,
+    stmt_to_str,
+)
 from .structhash import Numbering, number_subtrees, shared_subtrees, structural_hash, unique_subtrees
 from .types import (
     DType,
@@ -46,6 +58,8 @@ __all__ = [
     "clear_canonicalize_cache", "evaluate", "simplify",
     "Numbering", "number_subtrees", "shared_subtrees", "structural_hash",
     "unique_subtrees",
+    "Stmt", "Block", "For", "Allocate", "ProducerConsumer", "IfThenElse",
+    "Let", "Store", "PadEdge", "stmt_to_str",
     "DType", "TypeKind", "dtype_from_name", "signed_of_width", "unsigned_of_width",
     "UINT8", "UINT16", "UINT32", "UINT64", "INT8", "INT16", "INT32", "INT64",
     "FLOAT32", "FLOAT64",

@@ -1,0 +1,278 @@
+"""Lowered loop-nest statement IR (the mini-Halide ``Stmt`` level).
+
+The expression IR in :mod:`repro.ir.expr` says *what* a function computes at
+one point; this module says *how* a whole pipeline is executed: the loop
+nest over tiles, where intermediate buffers live, how big they are, and when
+producers run relative to their consumers.  It is the layer a Halide-style
+compiler inserts between the scheduled front end and any backend, and it is
+what :mod:`repro.halide.lower` produces from a scheduled
+:class:`~repro.halide.pipeline.FuncPipeline`.
+
+Granularity: loops here iterate over *tiles and strips*, not pixels.  A
+:class:`Store` computes a whole rectangular region of one function in a
+single vectorized evaluation (NumPy supplies the dense inner loops, exactly
+as it does for the two realization engines), so a lowered tree stays cheap
+to walk in Python while still expressing the scheduling decisions that
+matter: materialization level, bounds, scratch allocation, border handling
+and parallelism.
+
+Scalar positions (loop bounds, region origins/extents, branch conditions)
+hold either Python ints or expression-IR trees over the loop variables
+introduced by enclosing :class:`For` nodes; the executor in
+:mod:`repro.halide.backends.base` evaluates them per iteration.  All
+origin/extent tuples are in NumPy axis order (outermost first).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence, Union
+
+from .expr import Expr
+
+#: A scalar position in the loop nest: a constant or an expression over the
+#: enclosing loop variables.
+Scalar = Union[int, Expr]
+
+
+class Stmt:
+    """Base class for loop-nest statement nodes."""
+
+    __slots__ = ()
+
+    @property
+    def children(self) -> tuple["Stmt", ...]:
+        return ()
+
+    def walk(self) -> Iterator["Stmt"]:
+        """Yield this statement and every nested statement, pre-order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def pretty(self, indent: int = 0) -> str:
+        """A readable rendering of the loop nest (see ``stmt_to_str``)."""
+        return "\n".join(self._lines(indent))
+
+    def _lines(self, indent: int) -> list[str]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.pretty()
+
+
+def _s(value: Scalar) -> str:
+    return str(value)
+
+
+def _tuple_str(values: Sequence[Scalar]) -> str:
+    return "(" + ", ".join(_s(v) for v in values) + ")"
+
+
+@dataclass
+class Block(Stmt):
+    """A sequence of statements executed in order."""
+
+    stmts: list[Stmt] = field(default_factory=list)
+
+    @property
+    def children(self) -> tuple[Stmt, ...]:
+        return tuple(self.stmts)
+
+    def _lines(self, indent: int) -> list[str]:
+        lines: list[str] = []
+        for stmt in self.stmts:
+            lines.extend(stmt._lines(indent))
+        return lines
+
+
+@dataclass
+class For(Stmt):
+    """A loop over ``name`` from ``min`` for ``extent`` iterations (step 1).
+
+    ``kind`` is ``"serial"`` or ``"parallel"``; parallel loops promise that
+    their iterations write disjoint regions, so the executor may fan them
+    out across the shared worker pool with bit-identical results.
+    """
+
+    name: str
+    min: Scalar
+    extent: Scalar
+    body: Stmt
+    kind: str = "serial"
+
+    @property
+    def children(self) -> tuple[Stmt, ...]:
+        return (self.body,)
+
+    def _lines(self, indent: int) -> list[str]:
+        pad = "  " * indent
+        tag = "" if self.kind == "serial" else f" [{self.kind}]"
+        lines = [f"{pad}for {self.name} in [{_s(self.min)}, "
+                 f"{_s(self.min)} + {_s(self.extent)}){tag} {{"]
+        lines.extend(self.body._lines(indent + 1))
+        lines.append(f"{pad}}}")
+        return lines
+
+
+@dataclass
+class Let(Stmt):
+    """Bind a scalar (evaluated once) to a name visible in ``body``.
+
+    The lowering binds region origins, extents and clamped bounds per loop
+    iteration so the many statements referencing them evaluate a single
+    variable instead of re-walking a shared bounds expression.
+    """
+
+    name: str
+    value: Scalar
+    body: Stmt
+
+    @property
+    def children(self) -> tuple[Stmt, ...]:
+        return (self.body,)
+
+    def _lines(self, indent: int) -> list[str]:
+        pad = "  " * indent
+        lines = [f"{pad}let {self.name} = {_s(self.value)}"]
+        lines.extend(self.body._lines(indent))
+        return lines
+
+
+@dataclass
+class Allocate(Stmt):
+    """A scratch buffer scoped to ``body`` (freed when the body finishes).
+
+    ``extents`` are in NumPy axis order and may depend on the enclosing loop
+    variables — a partial tile at the frame edge allocates a smaller buffer.
+    """
+
+    buffer: str
+    dtype: object                       # repro.ir.types.DType
+    extents: tuple[Scalar, ...]
+    body: Stmt
+
+    @property
+    def children(self) -> tuple[Stmt, ...]:
+        return (self.body,)
+
+    def _lines(self, indent: int) -> list[str]:
+        pad = "  " * indent
+        lines = [f"{pad}allocate {self.buffer}[{self.dtype}]"
+                 f"{_tuple_str(self.extents)} {{"]
+        lines.extend(self.body._lines(indent + 1))
+        lines.append(f"{pad}}}")
+        return lines
+
+
+@dataclass
+class ProducerConsumer(Stmt):
+    """Produce one function's values, then run the consumer that reads them."""
+
+    name: str
+    produce: Stmt
+    consume: Stmt
+
+    @property
+    def children(self) -> tuple[Stmt, ...]:
+        return (self.produce, self.consume)
+
+    def _lines(self, indent: int) -> list[str]:
+        pad = "  " * indent
+        lines = [f"{pad}produce {self.name} {{"]
+        lines.extend(self.produce._lines(indent + 1))
+        lines.append(f"{pad}}} consume {{")
+        lines.extend(self.consume._lines(indent + 1))
+        lines.append(f"{pad}}}")
+        return lines
+
+
+@dataclass
+class IfThenElse(Stmt):
+    """A branch on a scalar condition over the enclosing loop variables.
+
+    The lowering uses this for border handling: a tile whose stencil
+    footprint stays inside the frame takes the fast pure-shift branch; a
+    tile touching the border takes the clamped branch.
+    """
+
+    condition: Expr
+    then_case: Stmt
+    else_case: Optional[Stmt] = None
+
+    @property
+    def children(self) -> tuple[Stmt, ...]:
+        if self.else_case is None:
+            return (self.then_case,)
+        return (self.then_case, self.else_case)
+
+    def _lines(self, indent: int) -> list[str]:
+        pad = "  " * indent
+        lines = [f"{pad}if ({self.condition}) {{"]
+        lines.extend(self.then_case._lines(indent + 1))
+        if self.else_case is not None:
+            lines.append(f"{pad}}} else {{")
+            lines.extend(self.else_case._lines(indent + 1))
+        lines.append(f"{pad}}}")
+        return lines
+
+
+@dataclass
+class Store(Stmt):
+    """Compute one function over a region and write it into a buffer.
+
+    ``func`` is a pure mini-Halide Func (its expression already rewritten by
+    the lowering for this coordinate frame); the executor evaluates it
+    vectorized over ``extent`` points per axis with variable grids starting
+    at ``eval_origin``, and writes the block at ``offset`` inside
+    ``buffer``.  ``param_exprs`` are scalar values (per enclosing-loop
+    iteration) bound as extra realization params — the lowering uses them to
+    pass runtime tile bases into a kernel that is compiled only once.
+    """
+
+    buffer: str
+    offset: tuple[Scalar, ...]
+    extent: tuple[Scalar, ...]
+    func: object                        # repro.halide.func.Func (pure)
+    eval_origin: tuple[Scalar, ...]
+    param_exprs: dict[str, Scalar] = field(default_factory=dict)
+    label: str = ""
+    #: Per-backend evaluator handles, stashed by the executors so repeated
+    #: tiles skip the kernel-cache key computation (lowered trees are
+    #: immutable, so the memo can never go stale).
+    cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def _lines(self, indent: int) -> list[str]:
+        pad = "  " * indent
+        tag = f"  # {self.label}" if self.label else ""
+        return [f"{pad}{self.buffer}[{_tuple_str(self.offset)} + "
+                f"{_tuple_str(self.extent)}] = {getattr(self.func, 'name', '?')}"
+                f"(grid @ {_tuple_str(self.eval_origin)}){tag}"]
+
+
+@dataclass
+class PadEdge(Stmt):
+    """Replicate a buffer's written interior outward to its edges.
+
+    ``offset``/``extent`` delimit the region that holds computed values; the
+    executor replicates its faces axis by axis (NumPy ``pad`` edge-mode
+    semantics) until the whole allocation is filled.  This is how a clamped
+    ghost zone materializes: values outside the producer's domain repeat the
+    nearest computed row/column.
+    """
+
+    buffer: str
+    offset: tuple[Scalar, ...]
+    extent: tuple[Scalar, ...]
+
+    def _lines(self, indent: int) -> list[str]:
+        pad = "  " * indent
+        return [f"{pad}pad_edge {self.buffer} interior "
+                f"{_tuple_str(self.offset)} + {_tuple_str(self.extent)}"]
+
+
+def stmt_to_str(stmt: Stmt) -> str:
+    """Render a lowered tree as indented pseudo-code (for ``--explain``)."""
+    return stmt.pretty()

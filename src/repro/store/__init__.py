@@ -4,7 +4,7 @@ See :mod:`repro.core.stages` for the stage/artifact model and
 :mod:`repro.core.session` for the :class:`LiftSession` that drives lookups.
 """
 
-from .keys import ArtifactKey, code_fingerprint, stage_key
+from .keys import ArtifactKey, code_fingerprint, manifest_is_current, stage_key
 from .serialize import (
     ArtifactFormatError,
     FORMAT_VERSION,
@@ -14,7 +14,7 @@ from .serialize import (
 from .store import STORE_DIR_ENV, ArtifactStore, default_store, default_store_root
 
 __all__ = [
-    "ArtifactKey", "code_fingerprint", "stage_key",
+    "ArtifactKey", "code_fingerprint", "manifest_is_current", "stage_key",
     "ArtifactFormatError", "FORMAT_VERSION", "dumps_artifact", "loads_artifact",
     "STORE_DIR_ENV", "ArtifactStore", "default_store", "default_store_root",
 ]

@@ -58,6 +58,33 @@ def code_fingerprint() -> str:
     return digest.hexdigest()[:16]
 
 
+def manifest_is_current(manifest: dict, stage_versions: dict[str, int],
+                        stage_order: tuple[str, ...],
+                        code: str | None = None) -> bool:
+    """Is a stored artifact's key still reachable by the current code?
+
+    True when the manifest's source fingerprint matches the running code and
+    its stage-version chain matches the current :data:`STAGE_VERSIONS` — the
+    exact conditions under which a warm lift could hit it.  Anything else is
+    garbage to ``python -m repro cache prune``: artifacts written by edited
+    analysis code, bumped stages, or stages that no longer exist.
+    """
+    key = manifest.get("key")
+    if not isinstance(key, dict):
+        return False
+    if key.get("code") != (code if code is not None else code_fingerprint()):
+        return False
+    stage = key.get("stage")
+    if stage not in stage_order:
+        return False
+    chain = stage_order[:stage_order.index(stage) + 1]
+    try:
+        expected = [[name, stage_versions[name]] for name in chain]
+    except KeyError:
+        return False
+    return key.get("versions") == expected
+
+
 def stage_key(fingerprint: dict, filter_name: str, seed: int, stage: str,
               stage_versions: dict[str, int], stage_order: tuple[str, ...],
               code: str | None = None) -> ArtifactKey:

@@ -163,6 +163,64 @@ class ArtifactStore:
             return 0
         return sum(path.stat().st_size for path in self.root.glob("*/*.pkl"))
 
+    #: prune() leaves files younger than this alone: a concurrent put() has
+    #: atomically written the blob but maybe not yet its manifest, and the
+    #: pkl+json *pair* is not atomic — age is how garbage is told apart from
+    #: work in progress.
+    PRUNE_GRACE_SECONDS = 300.0
+
+    def prune(self, keep) -> int:
+        """Garbage-collect artifacts; ``keep(manifest) -> bool`` decides.
+
+        Every blob whose manifest fails the predicate — and every blob with
+        no readable manifest at all (half-written garbage older than
+        :data:`PRUNE_GRACE_SECONDS`) — is removed together with its
+        manifest.  Returns the number of blobs deleted.  The caller supplies
+        the policy; ``python -m repro cache prune`` keeps only artifacts
+        whose stage-version chain and source fingerprint match the current
+        code (see :mod:`repro.store.keys`).
+        """
+        removed = 0
+        if not self.root.exists():
+            return removed
+        fresh_cutoff = time.time() - self.PRUNE_GRACE_SECONDS
+
+        def is_fresh(path: Path) -> bool:
+            try:
+                return path.stat().st_mtime > fresh_cutoff
+            except OSError:
+                return True            # just disappeared: leave it alone
+
+        for blob in list(self.root.glob("*/*.pkl")):
+            manifest_path = blob.with_suffix(".json")
+            manifest = None
+            try:
+                manifest = json.loads(manifest_path.read_text())
+            except (json.JSONDecodeError, OSError):
+                manifest = None
+            if manifest is None:
+                # No readable manifest: garbage only once it is old enough
+                # that no in-flight put() can still be completing the pair.
+                if is_fresh(blob):
+                    continue
+            elif keep(manifest):
+                continue
+            for path in (blob, manifest_path):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            removed += 1
+        # Orphaned manifests (blob already gone) go too, same grace applied.
+        for manifest_path in list(self.root.glob("*/*.json")):
+            if not manifest_path.with_suffix(".pkl").exists() \
+                    and not is_fresh(manifest_path):
+                try:
+                    manifest_path.unlink()
+                except OSError:
+                    pass
+        return removed
+
     def clear(self) -> int:
         """Delete every artifact + manifest; returns the number of blobs removed."""
         removed = 0

@@ -50,3 +50,73 @@ def test_golden_files_look_like_halide(filter_name="blur"):
     assert source.startswith("#include <Halide.h>")
     assert "compile_to_file" in source
     assert "input_1(" in source
+
+
+# ---------------------------------------------------------------------------
+# Schedule emission: compute_root / compute_at / tile / parallel
+# ---------------------------------------------------------------------------
+
+
+def _blur2_pipeline():
+    """A deterministic two-stage blur with a compute_at schedule."""
+    from repro.halide import Func, FuncPipeline, Var
+    from repro.ir import BinOp, BufferAccess, Cast, Const, Op, UINT8, UINT32
+
+    def stencil(name, inp, taps):
+        x, y = Var("x_0"), Var("x_1")
+        expr = None
+        for dx, dy in taps:
+            ix = x if dx == 0 else BinOp(Op.ADD, x, Const(dx))
+            iy = y if dy == 0 else BinOp(Op.ADD, y, Const(dy))
+            tap = Cast(UINT32, BufferAccess(inp, [ix, iy], UINT8))
+            expr = tap if expr is None else BinOp(Op.ADD, expr, tap, UINT32)
+        return Func(name, [x, y], dtype=UINT8).define(
+            Cast(UINT8, BinOp(Op.SHR, expr, Const(1, UINT32), UINT32)))
+
+    bx = stencil("bx", "input_1", [(0, 1), (1, 1), (2, 1)])
+    by = stencil("by", "bx_buf", [(1, 0), (1, 1), (1, 2)])
+    pipeline = FuncPipeline()
+    pipeline.add(bx, input_name="input_1", pad=1, name="bx")
+    pipeline.add(by, input_name="bx_buf", pad=1, name="by")
+    by.tile(64, 32).parallel()
+    bx.compute_at(by, "x_1")
+    return pipeline
+
+
+def test_pipeline_codegen_matches_golden_file():
+    from repro.core.codegen import generate_pipeline_halide_cpp
+
+    produced = generate_pipeline_halide_cpp(_blur2_pipeline())
+    golden = (GOLDEN_DIR / "pipeline_blur2_compute_at.cpp").read_text()
+    assert produced == golden, (
+        "generate_pipeline_halide_cpp drifted; if intentional, refresh "
+        "tests/golden/pipeline_blur2_compute_at.cpp and review the diff")
+
+
+def test_pipeline_codegen_emits_schedules_and_clamped_border():
+    from repro.core.codegen import generate_pipeline_halide_cpp
+
+    source = generate_pipeline_halide_cpp(_blur2_pipeline())
+    assert "BoundaryConditions::repeat_edge(input_1)" in source
+    assert "bx.compute_at(by, x_1_o);" in source
+    assert "by.tile(x_0, x_1, x_0_o, x_1_o, x_0_i, x_1_i, 64, 32)" in source
+    assert ".parallel(x_1_o);" in source
+    # Stage padding folds into the tap offsets: by reads bx at x_0 + 0.
+    assert "bx(x_0, " in source
+
+
+def test_single_kernel_schedule_emission():
+    from repro.core.codegen import generate_halide_cpp
+    from repro.halide import Schedule
+
+    scenario = get_scenario("photoshop", "invert")
+    result = LiftSession(scenario.make_app(), "invert", seed=scenario.seed,
+                         use_store=False).run()
+    kernel = next(k for k in result.kernels if k.output == "output_1")
+    schedule = Schedule(compute="root", tile_x=32, tile_y=16, parallel=True)
+    source = generate_halide_cpp(kernel, schedule=schedule)
+    assert "output_1.compute_root()" in source
+    assert ".tile(x_0, x_1, x_0_o, x_1_o, x_0_i, x_1_i, 32, 16)" in source
+    assert ".parallel(x_1_o);" in source
+    # The default (schedule=None) stays byte-stable: the golden files above.
+    assert generate_halide_cpp(kernel) == result.halide_sources["output_1"]

@@ -1,0 +1,24 @@
+#include <Halide.h>
+#include <vector>
+using namespace std;
+using namespace Halide;
+
+int main(){
+  Var x_0;
+  Var x_1;
+  ImageParam input_1(UInt(8),2);
+  Func input_1_clamped = BoundaryConditions::repeat_edge(input_1);
+  Func bx;
+  bx(x_0,x_1) =
+    cast<uint8_t>(cast<uint8_t>((((cast<uint32_t>(input_1_clamped((x_0 + -1), x_1)) + cast<uint32_t>(input_1_clamped(x_0, x_1))) + cast<uint32_t>(input_1_clamped((x_0 + 1), x_1))) >> 1)));
+  Func by;
+  by(x_0,x_1) =
+    cast<uint8_t>(cast<uint8_t>((((cast<uint32_t>(bx(x_0, (x_1 + -1))) + cast<uint32_t>(bx(x_0, x_1))) + cast<uint32_t>(bx(x_0, (x_1 + 1)))) >> 1)));
+  Var x_0_o, x_1_o, x_0_i, x_1_i;
+  bx.compute_at(by, x_1_o);
+  by.tile(x_0, x_1, x_0_o, x_1_o, x_0_i, x_1_i, 64, 32).parallel(x_1_o);
+  vector<Argument> args;
+  args.push_back(input_1);
+  by.compile_to_file("halide_pipeline_0",args);
+  return 0;
+}

@@ -3,8 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.halide import (FusedPipeline, Func, Var, autotune, configure_pool,
-                          execution_stats, realize, reset_execution_stats)
+from repro.halide import (FuncPipeline, FusedPipeline, Func, Var, autotune,
+                          autotune_pipeline, configure_pool, execution_stats,
+                          realize, reset_execution_stats)
 from repro.ir import BinOp, BufferAccess, Cast, Const, Op, UINT8, UINT32
 
 
@@ -67,6 +68,49 @@ class TestAutotune:
             assert execution_stats["serial"] + execution_stats["parallel"] > 0
         finally:
             configure_pool()
+
+
+class TestAutotunePipeline:
+    def _pipeline(self):
+        bx = blur_func()
+        by = Func("by", [Var("x_0"), Var("x_1")], dtype=UINT8)
+        x, y = Var("x_0"), Var("x_1")
+        taps = None
+        for dy in range(3):
+            tap = Cast(UINT32, BufferAccess(
+                "bx_buf", [BinOp(Op.ADD, x, Const(1)),
+                           y if dy == 0 else BinOp(Op.ADD, y, Const(dy))],
+                UINT8))
+            taps = tap if taps is None else BinOp(Op.ADD, taps, tap, UINT32)
+        by.define(Cast(UINT8, BinOp(Op.SHR, taps, Const(1, UINT32), UINT32)))
+        pipeline = FuncPipeline()
+        pipeline.add(bx, input_name="input_1", pad=1, name="bx")
+        pipeline.add(by, input_name="bx_buf", pad=1, name="by")
+        return pipeline
+
+    def test_search_space_includes_compute_at(self):
+        rng = np.random.default_rng(3)
+        image = rng.integers(0, 256, size=(48, 64), dtype=np.uint8)
+        pipeline = self._pipeline()
+        result = autotune_pipeline(pipeline, image, iterations=12, seed=2)
+        assert result.evaluations == 13
+        assert result.best_time == min(t for _, t in result.history)
+        described = [" ".join(stage_descs) for stage_descs, _ in result.history]
+        assert any("compute_at(by,x_1)" in d for d in described), \
+            "no compute_at candidate sampled"
+        assert any("compute_root" in d for d in described)
+        # The pipeline carries the winner.
+        assert [s.describe() for s in result.best_schedules] == \
+            [stage.func.schedule.describe() for stage in pipeline.stages]
+
+    def test_autotune_pipeline_does_not_change_results(self):
+        rng = np.random.default_rng(5)
+        image = rng.integers(0, 256, size=(40, 56), dtype=np.uint8)
+        pipeline = self._pipeline()
+        before = pipeline.realize(image, engine="interp")
+        autotune_pipeline(pipeline, image, iterations=6, seed=9)
+        after = pipeline.realize(image)
+        np.testing.assert_array_equal(before, after)
 
 
 class TestFusedPipeline:

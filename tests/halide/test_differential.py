@@ -3,14 +3,17 @@
 Random expression trees (hypothesis) and every lifted application kernel are
 realized through both engines and must agree bit-for-bit, including tiled
 schedules and reduction funcs — the property the compiled backend is built
-around.
+around.  Random multi-stage pipelines additionally draw a compute level per
+producer (legacy inline, compute_root, compute_at), so the lowered loop-nest
+IR — bounds inference, scratch buffers, clamped ghost zones, loop
+partitioning — is pinned against the same oracle.
 """
 
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.halide import Func, RDom, Var, realize, realize_interp
+from repro.halide import Func, FuncPipeline, RDom, Var, realize, realize_interp
 from repro.ir import (
     BinOp, BufferAccess, Call, Cast, Const, Op, Param, Select, Var as IRVar,
     FLOAT64, INT32, UINT8, UINT16, UINT32,
@@ -113,6 +116,103 @@ class TestReductionDifferential:
         compiled = realize(func, (bins,), {"input_1": image}, engine="compiled")
         interp = realize_interp(func, (bins,), {"input_1": image})
         np.testing.assert_array_equal(compiled, interp)
+
+
+class TestPipelineDifferential:
+    """Random multi-stage pipelines with random compute levels.
+
+    The oracle is the legacy padded stage-by-stage interpreter path; every
+    drawn schedule assignment (inline/root/at per producer, tiles on the
+    output) must realize bit-identically through the lowered loop-nest IR on
+    *both* backends.
+    """
+
+    STAGE_KINDS = ("pointwise", "coord", "stencil_x", "stencil_y", "cross")
+
+    @staticmethod
+    def _make_stage(kind: str, input_name: str) -> tuple[Func, int]:
+        x, y = _vars()
+
+        def acc(dx, dy):
+            ix = x if dx == 0 else BinOp(Op.ADD, x, Const(dx))
+            iy = y if dy == 0 else BinOp(Op.ADD, y, Const(dy))
+            return Cast(UINT32, BufferAccess(input_name, [ix, iy], UINT8))
+
+        if kind == "pointwise":
+            expr, pad = BinOp(Op.XOR, Const(255, UINT32), acc(0, 0), UINT32), 0
+        elif kind == "coord":
+            # Uses the loop variables directly (outside any tap): exercises
+            # the tile-base Param correction of local-coordinate stores.
+            coords = BinOp(Op.ADD, Cast(UINT32, x), Cast(UINT32, y), UINT32)
+            expr, pad = BinOp(Op.ADD, acc(0, 0), coords, UINT32), 0
+        elif kind == "stencil_x":
+            total = BinOp(Op.ADD, BinOp(Op.ADD, acc(0, 1), acc(1, 1), UINT32),
+                          acc(2, 1), UINT32)
+            expr, pad = BinOp(Op.SHR, total, Const(1, UINT32), UINT32), 1
+        elif kind == "stencil_y":
+            total = BinOp(Op.ADD, BinOp(Op.ADD, acc(1, 0), acc(1, 1), UINT32),
+                          acc(1, 2), UINT32)
+            expr, pad = BinOp(Op.SHR, total, Const(1, UINT32), UINT32), 1
+        else:                                  # cross
+            total = acc(1, 1)
+            for dx, dy in ((1, 0), (0, 1), (2, 1), (1, 2)):
+                total = BinOp(Op.ADD, total, acc(dx, dy), UINT32)
+            expr, pad = BinOp(Op.SHR, total, Const(2, UINT32), UINT32), 1
+        func = Func(f"st_{kind}", [x, y], dtype=UINT8).define(Cast(UINT8, expr))
+        return func, pad
+
+    @classmethod
+    def _build(cls, kinds, levels=None, tile=None) -> FuncPipeline:
+        pipeline = FuncPipeline()
+        funcs = []
+        for index, kind in enumerate(kinds):
+            input_name = "input_1" if index == 0 else f"buf_{index}"
+            func, pad = cls._make_stage(kind, input_name)
+            pipeline.add(func, input_name=input_name, pad=pad,
+                         name=f"s{index}")
+            funcs.append(func)
+        if tile is not None:
+            funcs[-1].tile(*tile)
+        if levels is not None:
+            funcs[-1].compute_root()
+            for index, level in enumerate(levels):
+                if level == "root":
+                    funcs[index].compute_root()
+                elif level == "at":
+                    funcs[index].compute_at(f"s{index + 1}", "x_1")
+        return pipeline
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_random_pipeline_schedules_match_oracle(self, data):
+        kinds = data.draw(st.lists(st.sampled_from(self.STAGE_KINDS),
+                                   min_size=2, max_size=4), label="stages")
+        levels = data.draw(st.lists(st.sampled_from(("default", "root", "at")),
+                                    min_size=len(kinds) - 1,
+                                    max_size=len(kinds) - 1), label="levels")
+        tile = data.draw(st.sampled_from(
+            [None, (8, 8), (16, 4), (WIDTH, 8), (64, 64)]), label="tile")
+        seed = data.draw(st.integers(0, 2 ** 16), label="seed")
+        image = np.random.default_rng(seed).integers(
+            0, 256, size=(HEIGHT, WIDTH), dtype=np.uint8)
+
+        oracle = self._build(kinds).realize(image, engine="interp")
+        scheduled = self._build(kinds, levels=levels, tile=tile)
+        assert scheduled.uses_lowering()
+        for engine in ("interp", "compiled"):
+            out = scheduled.realize(image, engine=engine)
+            np.testing.assert_array_equal(out, oracle)
+
+    def test_compute_at_chain_with_coordinate_consumer(self):
+        """The Param-corrected local store agrees with the oracle exactly."""
+        image = np.random.default_rng(11).integers(
+            0, 256, size=(HEIGHT, WIDTH), dtype=np.uint8)
+        kinds = ("stencil_x", "coord", "stencil_y")
+        oracle = self._build(kinds).realize(image, engine="interp")
+        scheduled = self._build(kinds, levels=("at", "at"), tile=(16, 8))
+        for engine in ("interp", "compiled"):
+            np.testing.assert_array_equal(
+                scheduled.realize(image, engine=engine), oracle)
 
 
 class TestLiftedKernelsDifferential:

@@ -153,6 +153,28 @@ class TestPipelineServer:
         assert kernel_cache_stats["misses"] == 1
         assert kernel_cache_stats["hits"] == 1
 
+    def test_frame_shape_pre_lowers_scheduled_pipelines(self):
+        """With frame_shape, lowered store kernels compile at construction."""
+        frames = _frames(3)
+        first, second = invert_func(), invert_func()
+        second.name = "invert2"
+        pipeline = FuncPipeline()
+        pipeline.add(first, input_name="input_1", name="inv1")
+        pipeline.add(second, input_name="input_1", name="inv2")
+        first.compute_root()
+        second.compute_root()
+        expected = [pipeline.realize(frame) for frame in frames]
+
+        clear_kernel_cache()
+        with PipelineServer(pipeline,
+                            frame_shape=frames[0].shape) as server:
+            warm_misses = kernel_cache_stats["misses"]
+            assert warm_misses >= 2          # stage funcs + store kernels
+            batch = server.realize_batch(frames)
+        assert kernel_cache_stats["misses"] == warm_misses
+        for output, reference in zip(batch.outputs, expected):
+            np.testing.assert_array_equal(output, reference)
+
 
 class TestCacheUnderConcurrentBatches:
     def test_many_threads_share_one_kernel(self):

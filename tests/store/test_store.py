@@ -58,6 +58,85 @@ class TestKeys:
         assert key(stage="codegen").digest != \
             key(stage="codegen", versions=bumped).digest
 
+
+class TestPrune:
+    def _store_with(self, tmp_path, artifact_key):
+        store = ArtifactStore(tmp_path / "store")
+        store.put(artifact_key, {"payload": artifact_key.stage})
+        return store
+
+    def test_keeps_current_artifacts(self, tmp_path):
+        from repro.store import manifest_is_current
+
+        store = self._store_with(tmp_path, key())
+        removed = store.prune(lambda m: manifest_is_current(
+            m, STAGE_VERSIONS, STAGES))
+        assert removed == 0
+        assert len(store.entries()) == 1
+
+    def test_removes_stale_version_chain(self, tmp_path):
+        from repro.store import manifest_is_current
+
+        bumped = dict(STAGE_VERSIONS, coverage=STAGE_VERSIONS["coverage"] + 1)
+        store = self._store_with(tmp_path, key(versions=bumped))
+        store.put(key(), {"payload": "current"})
+        removed = store.prune(lambda m: manifest_is_current(
+            m, STAGE_VERSIONS, STAGES))
+        assert removed == 1
+        entries = store.entries()
+        assert len(entries) == 1
+        assert entries[0]["key"]["versions"][0][1] == STAGE_VERSIONS["coverage"]
+
+    def test_removes_stale_code_fingerprint(self, tmp_path):
+        from repro.store import manifest_is_current
+
+        stale = stage_key(FP, "blur", 0, "coverage", STAGE_VERSIONS, STAGES,
+                          code="deadbeefdeadbeef")
+        store = self._store_with(tmp_path, stale)
+        removed = store.prune(lambda m: manifest_is_current(
+            m, STAGE_VERSIONS, STAGES))
+        assert removed == 1
+        assert store.entries() == []
+
+    def test_removes_blob_without_manifest_and_orphan_manifest(self, tmp_path):
+        import os
+        import time
+
+        store = self._store_with(tmp_path, key())
+        blob = store.blob_path(key())
+        manifest = store.manifest_path(key())
+        # A second, manifest-less blob and an orphaned manifest — backdated
+        # past the grace window (fresh pairs may be mid-write by another
+        # process and must survive).
+        garbage = blob.parent / "garbage.pkl"
+        orphan = blob.parent / "orphan.json"
+        garbage.write_bytes(b"junk")
+        orphan.write_text("{}")
+        stale = time.time() - store.PRUNE_GRACE_SECONDS - 10
+        os.utime(garbage, (stale, stale))
+        os.utime(orphan, (stale, stale))
+        removed = store.prune(lambda m: True)
+        assert removed == 1                      # the manifest-less blob
+        assert blob.exists() and manifest.exists()
+        assert not garbage.exists()
+        assert not orphan.exists()
+
+    def test_fresh_half_written_pairs_survive_prune(self, tmp_path):
+        store = self._store_with(tmp_path, key())
+        blob = store.blob_path(key())
+        # A blob whose manifest has not landed yet (concurrent put()).
+        (blob.parent / "inflight.pkl").write_bytes(b"half")
+        removed = store.prune(lambda m: True)
+        assert removed == 0
+        assert (blob.parent / "inflight.pkl").exists()
+
+    def test_manifest_is_current_rejects_unknown_stage(self):
+        from repro.store import code_fingerprint, manifest_is_current
+
+        manifest = {"key": {"code": code_fingerprint(), "stage": "nonsense",
+                            "versions": []}}
+        assert not manifest_is_current(manifest, STAGE_VERSIONS, STAGES)
+
     def test_downstream_version_bump_keeps_upstream(self):
         bumped = dict(STAGE_VERSIONS, codegen=STAGE_VERSIONS["codegen"] + 1)
         assert key(stage="coverage").digest == \

@@ -73,3 +73,33 @@ class TestCacheCommand:
         assert main(["cache", "clear"]) == 0
         out = capsys.readouterr().out
         assert "removed 8 artifact(s)" in out
+
+    def test_prune_keeps_current_removes_stale(self, store_env, capsys):
+        main(["lift", "photoshop", "invert"])
+        capsys.readouterr()
+        # Current artifacts survive a prune untouched.
+        assert main(["cache", "prune"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 0 stale artifact(s)" in out and "8 current kept" in out
+        # An artifact whose stage-version chain no longer matches is garbage.
+        import json
+        from repro.core.stages import STAGE_VERSIONS
+        manifests = sorted(store_env.glob("*/*.json"))
+        stale = json.loads(manifests[0].read_text())
+        stale["key"]["versions"][0][1] = STAGE_VERSIONS["coverage"] + 40
+        manifests[0].write_text(json.dumps(stale))
+        assert main(["cache", "prune"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 1 stale artifact(s)" in out and "7 current kept" in out
+
+
+class TestRunExplain:
+    def test_explain_prints_loop_nest(self, store_env, capsys):
+        assert main(["run", "photoshop", "blur", "--width", "64",
+                     "--height", "48", "--explain", "--tile", "32x16"]) == 0
+        out = capsys.readouterr().out
+        assert "execution plan:" in out
+        assert "schedule [" in out and "mode serial" in out
+        assert "for output_1.tile_y" in out
+        assert "interior" in out          # loop partitioning is visible
+        assert "lowered pipeline over frame [48, 64]" in out
