@@ -11,7 +11,10 @@ the committed baseline, ratios are **calibrated**: the median fresh/baseline
 ratio across all compared keys is treated as the machine-speed factor, and a
 benchmark only fails when it is more than ``threshold`` slower than that
 median predicts.  A uniformly slower runner therefore passes, while a single
-benchmark that regressed relative to its peers fails.
+benchmark that regressed relative to its peers fails.  Calibration needs at
+least ``MIN_CALIBRATION_KEYS`` compared keys — with two, the median of two
+ratios splits the difference and a real regression calibrates itself away —
+below that the gate warns and compares raw (uncalibrated) ratios.
 
 Usage::
 
@@ -30,6 +33,10 @@ from pathlib import Path
 
 DEFAULT_PREFIXES = ("fig8_", "lift_cache/")
 DEFAULT_THRESHOLD = 0.30
+#: Median calibration needs at least this many compared keys: with two, the
+#: median of two ratios splits the difference and a genuine regression in
+#: one benchmark inflates the "machine factor" enough to absorb itself.
+MIN_CALIBRATION_KEYS = 3
 
 
 def load_payload(path: Path) -> dict:
@@ -61,7 +68,16 @@ def compare(baseline: dict[str, dict], fresh: dict[str, dict],
         ratios[name] = fresh_seconds / base_seconds
     if not ratios:
         return [], []
-    machine_factor = statistics.median(ratios.values())
+    if len(ratios) >= MIN_CALIBRATION_KEYS:
+        machine_factor = statistics.median(ratios.values())
+    else:
+        # Too few keys to estimate machine speed: the median would absorb a
+        # genuine regression (median of two ratios splits the difference).
+        # Gate on raw ratios instead, and say so.
+        machine_factor = 1.0
+        print(f"warning: only {len(ratios)} comparable key(s) — skipping "
+              f"machine-factor calibration (needs >= {MIN_CALIBRATION_KEYS}); "
+              "comparing uncalibrated ratios")
     limit = machine_factor * (1.0 + threshold)
     rows, failures = [], []
     for name in keys:
@@ -75,7 +91,9 @@ def compare(baseline: dict[str, dict], fresh: dict[str, dict],
                      f"{ratio:.2f}x", verdict])
         if verdict != "ok":
             failures.append(name)
-    rows.append(["(median machine factor)", "-", "-",
+    label = "(median machine factor)" if len(ratios) >= MIN_CALIBRATION_KEYS \
+        else "(uncalibrated: too few keys)"
+    rows.append([label, "-", "-",
                  f"{machine_factor:.2f}x", f"limit {limit:.2f}x"])
     return rows, failures
 

@@ -166,10 +166,12 @@ def _explain_kernels(result, frame, tile: str | None = None) -> None:
     executed; the loop nest shows each kernel lowered standalone at
     ``compute_root`` (with ``--tile`` applied), since a single lifted kernel
     has no producers to place — multi-stage placement is a pipeline-level
-    decision (see ``FuncPipeline.describe``).
+    decision (see ``FuncPipeline.describe``).  Reduction kernels print
+    their init / update / merge phases instead (``tile``'s height doubles
+    as the RDom strip granularity of a parallel schedule).
     """
     from dataclasses import replace
-    from .halide.lower import PipelineLoweringError
+    from .halide.lower import PipelineLoweringError, lower_reduction_func
     from .halide.pipeline import FuncPipeline
 
     tile_wh = _parse_tile(tile)
@@ -182,6 +184,26 @@ def _explain_kernels(result, frame, tile: str | None = None) -> None:
         if tile_wh is not None:
             schedule.tile_x, schedule.tile_y = tile_wh
         explain_func = replace(func, schedule=schedule)
+        if func.reduction is not None:
+            from .rejuvenation.lifted import reduction_output_shape
+
+            kernel = next((k for k in result.kernels if k.output == name),
+                          None)
+            if kernel is not None:
+                out_shape = tuple(reversed(reduction_output_shape(
+                    result, kernel, np.asarray(frame).shape)))
+            else:
+                spec = result.buffer_specs.get(name)
+                out_shape = tuple(reversed(spec.extents)) \
+                    if spec is not None else (1,) * len(func.variables)
+            strip = explain_func.reduction_strip_rows()
+            print(f"    lowered reduction (init/update/merge, "
+                  f"{strip}-row strips when parallel):")
+            nest = lower_reduction_func(explain_func, out_shape,
+                                        np.asarray(frame).shape)
+            for line in nest.pretty().splitlines():
+                print(f"    {line}")
+            continue
         pipeline = FuncPipeline().add(explain_func, name=name)
         print("    standalone lowering (compute_root"
               + (f", tile {tile_wh[0]}x{tile_wh[1]}" if tile_wh else "")

@@ -14,10 +14,14 @@ import numpy as np
 
 from ..kgen import (
     FloatConvSpec,
+    HistogramSpec,
     PointwiseSpec,
     emit_float_conv,
+    emit_histogram,
     emit_pointwise,
+    equalization_mapping,
     reference_float_conv,
+    reference_histogram,
     reference_pointwise,
 )
 from ..x86 import Module, Program
@@ -34,7 +38,12 @@ FILTER_SPECS = {
     "solarize": PointwiseSpec("iv_solarize", "solarize", unroll=2),
     "blur": FloatConvSpec("iv_blur", weights=_BLUR_WEIGHTS),
     "sharpen": FloatConvSpec("iv_sharpen", weights=_SHARPEN_WEIGHTS),
+    "equalize": HistogramSpec("iv_histogram"),
 }
+
+#: Filters whose traced kernel is only part of the feature (the histogram
+#: computation of equalize; the mapping application happens outside it).
+PARTIALLY_LIFTED = ("equalize",)
 
 
 class IrfanViewApp(Application):
@@ -54,6 +63,7 @@ class IrfanViewApp(Application):
         filters.append_assembly(emit_pointwise(FILTER_SPECS["solarize"]))
         filters.append_assembly(emit_float_conv(FILTER_SPECS["blur"]))
         filters.append_assembly(emit_float_conv(FILTER_SPECS["sharpen"]))
+        filters.append_assembly(emit_histogram(FILTER_SPECS["equalize"]))
         background = Module.from_assembly("iv_main", BACKGROUND_ASSEMBLY)
         return Program([background, filters]).load()
 
@@ -89,6 +99,13 @@ class IrfanViewApp(Application):
                   filter_name: str) -> None:
         spec = FILTER_SPECS[filter_name]
         width_bytes = layout.width * layout.channels
+        if isinstance(spec, HistogramSpec):
+            hist = memory.alloc(spec.bins * 4, name="iv_hist")
+            emulator.call_function(spec.name, [
+                layout.input.interior, hist, width_bytes, layout.height,
+                layout.stride])
+            self._apply_equalization(memory, layout, hist, spec.bins)
+            return
         if isinstance(spec, PointwiseSpec):
             emulator.call_function(spec.name, [
                 layout.input.interior, layout.output.interior,
@@ -101,9 +118,22 @@ class IrfanViewApp(Application):
             layout.input.interior, layout.output.interior,
             width_bytes, layout.height, layout.stride, layout.stride, weights_addr])
 
+    def _apply_equalization(self, memory, layout: InterleavedLayout,
+                            hist_addr: int, bins: int) -> None:
+        counts = np.frombuffer(memory.read_bytes(hist_addr, bins * 4),
+                               dtype="<u4")
+        mapping = equalization_mapping(counts)
+        data = interleave(self.planes)
+        out = mapping[data]
+        for y in range(layout.height):
+            memory.write_bytes(layout.output.interior + y * layout.stride,
+                               out[y].tobytes())
+
     def reference_output(self, filter_name: str) -> np.ndarray:
         spec = FILTER_SPECS[filter_name]
         flat = interleave(self.planes)
+        if isinstance(spec, HistogramSpec):
+            return reference_histogram(spec, flat)
         if isinstance(spec, PointwiseSpec):
             return reference_pointwise(spec, flat)
         interleaved = np.stack([self.planes["r"], self.planes["g"], self.planes["b"]],
@@ -116,6 +146,10 @@ class IrfanViewApp(Application):
         data = KnownData()
         data.inputs.append(KnownDataArray(name="input_rgb", array=interleave(self.planes),
                                           role="input", channels=3))
-        data.outputs.append(KnownDataArray(name="output_rgb", array=run.outputs["rgb"],
-                                           role="output", channels=3))
+        if filter_name not in PARTIALLY_LIFTED:
+            # Partially-lifted filters produce their visible output outside
+            # the traced kernel; offering it as known data would mislead the
+            # buffer inference.
+            data.outputs.append(KnownDataArray(name="output_rgb", array=run.outputs["rgb"],
+                                               role="output", channels=3))
         return data

@@ -119,8 +119,15 @@ def _minigmg_trace_app():
     return MiniGMGApp(nx=6, ny=5, nz=4)
 
 
+#: Filters whose lifted kernel is a reduction (RDom update stage): served
+#: and benchmarked through the parallel partial-accumulator path.
+REDUCTION_FILTERS = {("photoshop", "equalize"), ("photoshop", "column_sum"),
+                     ("irfanview", "equalize")}
+
+
 def _register_builtin_scenarios() -> None:
-    from .irfanview import FILTER_SPECS as IV_SPECS
+    from .irfanview import FILTER_SPECS as IV_SPECS, \
+        PARTIALLY_LIFTED as IV_PARTIAL
     from .photoshop import FILTER_SPECS as PS_SPECS, FULLY_LIFTED
 
     for name in PS_SPECS:
@@ -128,13 +135,19 @@ def _register_builtin_scenarios() -> None:
             else _photoshop_trace_app
         tags = ("photoshop", "planar",
                 "fully-lifted" if name in FULLY_LIFTED else "partially-lifted")
+        if ("photoshop", name) in REDUCTION_FILTERS:
+            tags = tags + ("reduction",)
         register(Scenario(app_name="photoshop", filter_name=name,
                           factory=factory, tags=tags,
                           description=f"Photoshop {name} on planar RGB"))
     for name in IV_SPECS:
+        tags = ("irfanview", "interleaved",
+                "partially-lifted" if name in IV_PARTIAL else "fully-lifted")
+        if ("irfanview", name) in REDUCTION_FILTERS:
+            tags = tags + ("reduction",)
         register(Scenario(app_name="irfanview", filter_name=name,
                           factory=_irfanview_trace_app,
-                          tags=("irfanview", "interleaved", "fully-lifted"),
+                          tags=tags,
                           description=f"IrfanView {name} on interleaved RGB"))
     register(Scenario(app_name="minigmg", filter_name="smooth",
                       factory=_minigmg_trace_app,

@@ -76,7 +76,7 @@ STAGE_VERSIONS = {
     "trace": 1,
     "forward": 1,
     "buffers": 1,
-    "trees": 1,
+    "trees": 2,       # v2: recursive coordinate clusters lift as reductions
     "codegen": 1,
 }
 

@@ -271,6 +271,14 @@ def lift_cluster(cluster: TreeCluster, specs: dict[str, BufferSpec],
 
     if cluster.is_indirect:
         return _lift_indirect_cluster(cluster, specs, variables)
+    if cluster.is_recursive():
+        try:
+            return _lift_recursive_coordinate_cluster(cluster, specs, rng)
+        except SymbolicLiftError:
+            # Not a coordinate reduction (multi-dimensional accumulator, no
+            # constant-indexed source): fall through to the generic affine
+            # path, which handles pointwise-recursive shapes.
+            pass
 
     sample_size = min(len(cluster.trees), max(2 * dims + 1, dims + 1))
     sample = rng.sample(cluster.trees, sample_size) if len(cluster.trees) > sample_size \
@@ -287,6 +295,70 @@ def lift_cluster(cluster: TreeCluster, specs: dict[str, BufferSpec],
     return SymbolicTree(buffer=cluster.buffer, dims=dims, expr=expr,
                         predicates=tuple(predicates), support=len(cluster.trees),
                         is_reduction=cluster.is_recursive())
+
+
+def _lift_recursive_coordinate_cluster(cluster: TreeCluster,
+                                       specs: dict[str, BufferSpec],
+                                       rng: random.Random) -> SymbolicTree:
+    """Column-sum-style clusters: a read-modify-write whose accumulator index
+    is a *coordinate* (affine in the swept source's indices), not a data
+    value.
+
+    The histogram's indirect machinery does not apply — the root address is
+    never data-dependent — but the write still reads its own output, so the
+    pointwise affine solve (root indices as the only free variables) is rank
+    deficient: many source cells update the same accumulator slot.  Instead
+    the reduction domain is the *source* buffer read by the update, and the
+    root index is solved as an affine function of the source coordinates
+    (``colsum(r_0) += src(r_0, r_1)`` solves ``index = r_0``).
+    """
+    spec = specs[cluster.buffer]
+    if spec.dimensionality != 1:
+        raise SymbolicLiftError(
+            "coordinate reductions support 1-D accumulators only")
+    sample_size = min(len(cluster.trees), 9)
+    sample = rng.sample(cluster.trees, sample_size) \
+        if len(cluster.trees) > sample_size else list(cluster.trees)
+    positions = _parallel_nodes(sample, lambda t: t.expr)
+
+    source_position = None
+    for index, nodes in enumerate(positions):
+        first = nodes[0]
+        if isinstance(first, BufferAccess) and first.buffer != cluster.buffer \
+                and first.buffer in specs \
+                and all(isinstance(i, Const) for i in first.indices):
+            source_position = index
+            break
+    if source_position is None:
+        raise SymbolicLiftError(
+            "recursive cluster reads no source buffer to reduce over")
+    source_nodes = positions[source_position]
+    source_buffer = source_nodes[0].buffer
+    source_dims = specs[source_buffer].dimensionality
+    reduction_vars = [Var(f"r_{d}") for d in range(source_dims)]
+
+    # Solve the accumulator index as affine in the source coordinates.
+    rows = [(tuple(int(i.value) for i in node.indices),
+             int(tree.root_indices[0]))
+            for node, tree in zip(source_nodes, sample)]
+    coefficients = _solve_affine(rows, source_dims)
+    root_index = _affine_expr(coefficients, reduction_vars)
+
+    generic_source = BufferAccess(source_buffer, list(reduction_vars),
+                                  source_nodes[0].dtype)
+
+    def rewrite(node: Expr) -> Expr:
+        if isinstance(node, BufferAccess) and node.buffer == source_buffer:
+            return generic_source
+        if isinstance(node, BufferAccess) and node.buffer == cluster.buffer:
+            return BufferAccess(cluster.buffer, [root_index], node.dtype)
+        return node
+
+    rhs = canonicalize(cluster.trees[0].expr.transform(rewrite))
+    return SymbolicTree(buffer=cluster.buffer, dims=spec.dimensionality,
+                        expr=rhs, predicates=(), support=len(cluster.trees),
+                        is_reduction=True, reduction_source=source_buffer,
+                        root_index_expr=root_index)
 
 
 def _lift_indirect_cluster(cluster: TreeCluster, specs: dict[str, BufferSpec],

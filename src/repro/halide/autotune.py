@@ -10,7 +10,9 @@ codegen only on first sight.
 Parallel candidates are sampled *with* tiles (an untiled ``parallel`` request
 falls back to serial and would measure nothing different), and the shared
 worker pool is warmed before timing starts so no candidate pays thread
-startup.  The timings therefore reflect the real execution mode of every
+startup.  Reduction Funcs draw from their own space — RDom strip heights
+(``tile_y``, the partial-accumulator granularity) crossed with parallel
+on/off — so the two-phase reduction schedule is tuned like any other.  The timings therefore reflect the real execution mode of every
 candidate, and ``Schedule.describe()`` on the winner says what actually ran.
 
 :func:`autotune_pipeline` extends the search to multi-stage pipelines, where
@@ -76,6 +78,22 @@ def _sample_schedule(rng: random.Random) -> Schedule:
                     fuse_producers=rng.random() < 0.8)
 
 
+def _sample_reduction_schedule(rng: random.Random) -> Schedule:
+    """One random reduction schedule: RDom strip height x parallel on/off.
+
+    ``tile_y`` is the strip height (source rows per partial accumulator —
+    see :meth:`Func.reduction_strip_rows`); 0 draws the default.  Only
+    associative reductions honour the parallel draw (the compiled engine
+    falls back to the serial whole-domain sweep otherwise), so every
+    candidate is safe to time.
+    """
+    strip = rng.choice(_TILE_CHOICES)
+    want_parallel = rng.random() < 0.5
+    return Schedule(tile_x=0, tile_y=strip, vectorize=True,
+                    parallel=(want_parallel and pool_size() > 1
+                              and parallel_enabled()))
+
+
 def autotune(func: Func, shape, buffers, params=None, iterations: int = 10,
              seed: int = 0, engine: str | None = None) -> TuneResult:
     """Search schedules for ``func`` on the given workload.
@@ -89,13 +107,15 @@ def autotune(func: Func, shape, buffers, params=None, iterations: int = 10,
     # Spin the worker threads up outside the timed region (a no-op for
     # single-worker pools).
     warm_pool()
+    sampler = _sample_reduction_schedule if func.reduction is not None \
+        else _sample_schedule
     history: list[tuple[Schedule, float]] = []
     best_schedule = Schedule()
     func.schedule = best_schedule
     best_time = _time_schedule(func, shape, buffers, params, engine)
     history.append((best_schedule, best_time))
     for _ in range(iterations):
-        candidate = _sample_schedule(rng)
+        candidate = sampler(rng)
         func.schedule = candidate
         elapsed = _time_schedule(func, shape, buffers, params, engine)
         history.append((candidate, elapsed))
@@ -136,11 +156,19 @@ def _sample_pipeline_schedules(pipeline, rng: random.Random) -> list[Schedule]:
     anchor it — ``at`` the consumer's second-innermost variable.
     """
     stages = pipeline.stages
-    out_schedule = _sample_schedule(rng)
+    out_schedule = _sample_reduction_schedule(rng) \
+        if stages[-1].func.reduction is not None else _sample_schedule(rng)
     out_schedule.compute = "root" if rng.random() < 0.7 else "default"
     schedules: list[Schedule] = []
     for index, stage in enumerate(stages[:-1]):
         consumer = stages[index + 1]
+        if stage.func.reduction is not None:
+            # Reduction producers never compute_at; sample their strip
+            # height and parallel flag at root/default instead.
+            schedule = _sample_reduction_schedule(rng)
+            schedule.compute = "root" if rng.random() < 0.7 else "default"
+            schedules.append(schedule)
+            continue
         choice = rng.choice(("default", "root", "at"))
         schedule = Schedule()
         if choice == "at" and len(consumer.func.variables) >= 1:

@@ -25,6 +25,7 @@ from typing import Mapping, Optional
 import numpy as np
 
 from ...ir import (
+    AccumMerge,
     Allocate,
     Block,
     Expr,
@@ -33,6 +34,7 @@ from ...ir import (
     Let,
     PadEdge,
     ProducerConsumer,
+    ReduceLoop,
     Stmt,
     Store,
 )
@@ -142,6 +144,19 @@ class Backend:
         """Evaluate a pure Func over one region (NumPy axis order)."""
         raise NotImplementedError
 
+    def reduce_region(self, func, out: np.ndarray, origin: tuple[int, ...],
+                      extent: tuple[int, ...],
+                      buffers: Mapping[str, np.ndarray],
+                      params: Mapping[str, float]) -> np.ndarray:
+        """Apply ``func``'s reduction update over one RDom sub-region.
+
+        ``origin``/``extent`` restrict the sweep to a rectangle of the
+        reduction source (NumPy axis order, global coordinates); the update
+        mutates ``out`` in place.  The primitive behind every lowered
+        :class:`~repro.ir.stmt.ReduceLoop`.
+        """
+        raise NotImplementedError
+
     def region_evaluator(self, func):
         """A reusable ``fn(origin, extent, buffers, params)`` for one Func.
 
@@ -152,6 +167,15 @@ class Backend:
         def evaluate(origin, extent, buffers, params):
             return self.evaluate_region(func, origin, extent, buffers, params)
         return evaluate
+
+    def region_reducer(self, func):
+        """A reusable ``fn(out, origin, extent, buffers, params)`` for one
+        reduction Func (the :meth:`region_evaluator` analogue for
+        :class:`~repro.ir.stmt.ReduceLoop` nodes)."""
+        def reduce(out, origin, extent, buffers, params):
+            return self.reduce_region(func, out, origin, extent, buffers,
+                                      params)
+        return reduce
 
     # -- lowered-IR execution ------------------------------------------------
 
@@ -196,8 +220,10 @@ class Backend:
         if isinstance(stmt, Allocate):
             extents = tuple(_scalar(e, env, state.params)
                             for e in stmt.extents)
-            buffers[stmt.buffer] = np.empty(extents,
-                                            dtype=stmt.dtype.to_numpy())
+            dtype = stmt.dtype.to_numpy()
+            buffers[stmt.buffer] = np.empty(extents, dtype=dtype) \
+                if stmt.fill is None else np.full(extents, stmt.fill,
+                                                  dtype=dtype)
             state.tally("allocations")
             state.track_scratch(stmt.buffer, extents)
             try:
@@ -217,6 +243,12 @@ class Backend:
             return
         if isinstance(stmt, Store):
             self._exec_store(stmt, env, buffers, state)
+            return
+        if isinstance(stmt, ReduceLoop):
+            self._exec_reduce(stmt, env, buffers, state)
+            return
+        if isinstance(stmt, AccumMerge):
+            self._exec_merge(stmt, env, buffers, state)
             return
         if isinstance(stmt, PadEdge):
             self._exec_pad_edge(stmt, env, buffers, state)
@@ -277,6 +309,37 @@ class Backend:
         region = tuple(slice(o, o + e) for o, e in zip(offset, extent))
         target[region] = block
         state.tally("stores")
+
+    def _exec_reduce(self, stmt: ReduceLoop, env: dict, buffers: dict,
+                     state: _ExecState) -> None:
+        target = buffers.get(stmt.buffer)
+        if target is None:
+            raise RealizationError(f"no buffer {stmt.buffer} to reduce into")
+        if stmt.target_index is not None:
+            target = target[_scalar(stmt.target_index, env, state.params)]
+        origin = tuple(_scalar(o, env, state.params)
+                       for o in stmt.source_origin)
+        extent = tuple(_scalar(e, env, state.params)
+                       for e in stmt.source_extent)
+        if any(e <= 0 for e in extent):
+            return
+        reduce = stmt.cache.get(self.name)
+        if reduce is None:
+            reduce = self.region_reducer(stmt.func)
+            stmt.cache[self.name] = reduce
+        reduce(target, origin, extent, buffers, state.params)
+        state.tally("reduce_sweeps")
+
+    def _exec_merge(self, stmt: AccumMerge, env: dict, buffers: dict,
+                    state: _ExecState) -> None:
+        target = buffers.get(stmt.target)
+        source = buffers.get(stmt.source)
+        if target is None or source is None:
+            raise RealizationError(
+                f"no buffers {stmt.target}/{stmt.source} to merge")
+        slab = source[_scalar(stmt.index, env, state.params)]
+        np.add(target, slab.astype(target.dtype, copy=False), out=target)
+        state.tally("merges")
 
     def _exec_pad_edge(self, stmt: PadEdge, env: dict, buffers: dict,
                        state: _ExecState) -> None:

@@ -30,6 +30,14 @@ class CompiledBackend(Backend):
         return compile_func(func).evaluate_region(origin, extent, buffers,
                                                   params)
 
+    def reduce_region(self, func, out, origin, extent, buffers,
+                      params: Mapping) -> np.ndarray:
+        return compile_func(func).reduce_region(out, origin, extent, buffers,
+                                                params)
+
     def region_evaluator(self, func):
         # Resolve the kernel-cache entry once per Store instead of per tile.
         return compile_func(func).evaluate_region
+
+    def region_reducer(self, func):
+        return compile_func(func).reduce_region

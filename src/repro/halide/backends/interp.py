@@ -13,7 +13,7 @@ from typing import Mapping
 
 import numpy as np
 
-from ..realize import realize_interp, realize_region_interp
+from ..realize import realize_interp, realize_region_interp, reduce_region_interp
 from .base import Backend
 
 
@@ -26,3 +26,7 @@ class InterpBackend(Backend):
     def evaluate_region(self, func, origin, extent, buffers,
                         params: Mapping) -> np.ndarray:
         return realize_region_interp(func, origin, extent, buffers, params)
+
+    def reduce_region(self, func, out, origin, extent, buffers,
+                      params: Mapping) -> np.ndarray:
+        return reduce_region_interp(func, out, origin, extent, buffers, params)

@@ -53,7 +53,12 @@ from ..ir import (
 )  # noqa: F401 (DType used in annotations)
 from ..ir.simplify import _trunc_div
 from .func import Func
-from .parallel import reset_fallback_warnings, run_tiles, warn_serial_fallback
+from .parallel import (
+    reset_fallback_warnings,
+    run_reduction_strips,
+    run_tiles,
+    warn_serial_fallback,
+)
 from .realize import (
     RealizationError,
     _strip_self_reference,
@@ -62,6 +67,7 @@ from .realize import (
     _wrap_cast,
     realize_interp,
     realize_region_interp,
+    reduce_region_interp,
 )
 
 
@@ -608,8 +614,9 @@ class _DomainEmitter:
             dims = rdom.dimensions
             axis = dims - 1 - position
             shape = "(1,) * %d + (-1,) + (1,) * %d" % (axis, dims - 1 - axis)
-            self._line(f"{var} = _np.broadcast_to(_np.arange(_rshape[{axis}])"
-                       f".reshape({shape}), _rshape)")
+            self._line(f"{var} = _np.broadcast_to(_np.arange(_rorigin[{axis}], "
+                       f"_rorigin[{axis}] + _rextent[{axis}])"
+                       f".reshape({shape}), _rextent)")
         return var
 
     def _emit_access(self, node: BufferAccess, vid: int) -> None:
@@ -802,6 +809,11 @@ class CompiledKernel:
     body: object = None
     #: The Func this kernel realizes (for region-eval fallbacks).
     func: object = None
+    #: The region-parameterized reduction body
+    #: ``_reduce(out, origin, extent, buffers, params)`` applying the update
+    #: sweep over one RDom sub-region in place; None for pure kernels and
+    #: interpreter fallbacks.
+    reduce: object = None
     #: True when the kernel narrowed its integer dtype *and* materializes
     #: variable grids: region evaluations whose coordinates reach
     #: ``VAR_BOUND`` must take the interpreter path instead (the narrow grid
@@ -825,6 +837,29 @@ class CompiledKernel:
                                          buffers, params)
         return self.body(tuple(int(o) for o in origin),
                          tuple(int(e) for e in extent), buffers, params)
+
+    def reduce_region(self, out: np.ndarray, origin: tuple[int, ...],
+                      extent: tuple[int, ...],
+                      buffers: Mapping[str, np.ndarray],
+                      params: Mapping[str, float]) -> np.ndarray:
+        """Apply the reduction update over one RDom sub-region, in place.
+
+        The primitive behind lowered :class:`~repro.ir.stmt.ReduceLoop`
+        nodes.  Falls back to the interpreter's region sweep when this
+        kernel carries no compiled reduction body or the bound source's rank
+        does not match the RDom (mirroring the whole-kernel entry's guard) —
+        both sweeps are bit-identical.
+        """
+        if self.func is None or self.func.reduction is None:
+            raise RealizationError("kernel has no reduction update")
+        rdom = self.func.reduction[0]
+        source = buffers.get(rdom.source)
+        if self.reduce is None or (source is not None
+                                   and source.ndim != rdom.dimensions):
+            return reduce_region_interp(self.func, out, origin, extent,
+                                        buffers, params)
+        return self.reduce(out, tuple(int(o) for o in origin),
+                           tuple(int(e) for e in extent), buffers, params)
 
 
 _KERNEL_CACHE: dict[tuple, CompiledKernel] = {}
@@ -955,7 +990,7 @@ def _build_kernel(func: Func) -> CompiledKernel:
         "_np": np, "_win": _win, "_gather": _gather,
         "_trunc_divide": _trunc_divide, "_trunc_remainder": _trunc_remainder,
         "_wrap_cast": _wrap_cast, "RealizationError": RealizationError,
-        "_run_tiles": run_tiles,
+        "_run_tiles": run_tiles, "_run_reduction_strips": run_reduction_strips,
         "_odtype": func.dtype, "_odt": func.dtype.to_numpy(),
         "_fallback": lambda np_shape, buffers, params, _f=func: realize_interp(
             _f, tuple(reversed(np_shape)), buffers, params),
@@ -975,11 +1010,15 @@ def _build_kernel(func: Func) -> CompiledKernel:
         lines.append("    return _np.zeros(extent, dtype=_odt)")
         emitter = None
 
+    if func.reduction is not None:
+        lines.append("")
+        lines.extend(_emit_reduction_body(func, namespace))
+
     lines.append("")
     lines.extend(_emit_kernel_entry(func, emitter, parallel_capable))
 
     if func.reduction is not None:
-        lines.extend(_emit_reduction(func, namespace))
+        lines.extend(_emit_reduction_call(func, parallel_capable))
     lines.append("    return out")
 
     source = "\n".join(lines) + "\n"
@@ -991,7 +1030,8 @@ def _build_kernel(func: Func) -> CompiledKernel:
     return CompiledKernel(fn=namespace["_kernel"], engine="compiled",
                          source=source, compute_dtype=compute_dtype,
                          parallel_capable=parallel_capable,
-                         body=body, func=func, narrow_guard=narrow_guard)
+                         body=body, func=func, narrow_guard=narrow_guard,
+                         reduce=namespace.get("_reduce"))
 
 
 def _emit_pure_body(func: Func, emitter: _DomainEmitter) -> tuple[list[str], str]:
@@ -1052,18 +1092,19 @@ def _emit_kernel_entry(func: Func, emitter: Optional[_DomainEmitter],
     return lines
 
 
-def _emit_reduction(func: Func, namespace: dict) -> list[str]:
+def _emit_reduction_body(func: Func, namespace: dict) -> list[str]:
+    """The region-parameterized update sweep ``_reduce(out, origin, extent)``.
+
+    ``_rorigin``/``_rextent`` delimit the swept RDom sub-region in global
+    source coordinates (NumPy axis order); the whole-kernel entry calls it
+    over the full source domain, and lowered :class:`~repro.ir.stmt.ReduceLoop`
+    nodes (plus the parallel strip executor) call it per strip.
+    """
     rdom, index_exprs, update = func.reduction
     increment = _strip_self_reference(update, func.name)
     roots = list(index_exprs) + [increment if increment is not None else update]
     emitter = _DomainEmitter(func, roots, "reduction", namespace)
-    lines = [f"    _src = buffers.get({rdom.source!r})"]
-    lines.append("    if _src is None:")
-    lines.append(f"        raise RealizationError("
-                 f"'no binding for reduction source {rdom.source}')")
-    lines.append(f"    if _src.ndim != {rdom.dimensions}:")
-    lines.append("        return _fallback(shape, buffers, params)")
-    lines.append("    _rshape = _src.shape")
+    lines = ["def _reduce(out, _rorigin, _rextent, buffers, params):"]
     lines.append("    buffers = dict(buffers)")
     lines.append(f"    buffers[{func.name!r}] = out")
     emitter.lines = []
@@ -1081,4 +1122,31 @@ def _emit_reduction(func: Func, namespace: dict) -> list[str]:
     else:
         lines.append(f"    out[({np_index},)] = _wrap_cast(_np.asarray({value_atom}), "
                      "_odtype).astype(_odt)")
+    lines.append("    return out")
+    return lines
+
+
+def _emit_reduction_call(func: Func, parallel: bool) -> list[str]:
+    """The whole-kernel entry's reduction phase: full-domain sweep.
+
+    Associative reductions whose schedule asks for ``parallel`` fan RDom row
+    strips out across the shared pool into private partial accumulators with
+    a deterministic serial merge (:func:`repro.halide.parallel.run_reduction_strips`);
+    everything else runs the one serial whole-domain sweep the interpreter
+    oracle runs.
+    """
+    rdom = func.reduction[0]
+    lines = [f"    _src = buffers.get({rdom.source!r})"]
+    lines.append("    if _src is None:")
+    lines.append(f"        raise RealizationError("
+                 f"'no binding for reduction source {rdom.source}')")
+    lines.append(f"    if _src.ndim != {rdom.dimensions}:")
+    lines.append("        return _fallback(shape, buffers, params)")
+    if parallel and func.reduction_is_associative():
+        strip = func.reduction_strip_rows()
+        lines.append(f"    _run_reduction_strips(_reduce, out, _src.shape, "
+                     f"{strip}, buffers, params)")
+    else:
+        lines.append(f"    _reduce(out, (0,) * {rdom.dimensions}, _src.shape, "
+                     "buffers, params)")
     return lines

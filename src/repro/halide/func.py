@@ -10,8 +10,32 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from ..ir import DType, Expr, UINT8, Var as IRVar
+from ..ir import (
+    BinOp,
+    BufferAccess,
+    Cast,
+    DType,
+    Expr,
+    Op,
+    UINT8,
+    Var as IRVar,
+)
 from .parallel import parallel_enabled, pool_size
+
+
+def _strip_self_reference(update: Expr, name: str):
+    """For updates of the form ``f(idx) + k`` return ``k`` (the increment)."""
+    node = update
+    while isinstance(node, Cast):
+        node = node.a
+    if isinstance(node, BinOp) and node.op == Op.ADD:
+        for self_side, other in ((node.a, node.b), (node.b, node.a)):
+            inner = self_side
+            while isinstance(inner, Cast):
+                inner = inner.a
+            if isinstance(inner, BufferAccess) and inner.buffer == name:
+                return other
+    return None
 
 
 class Var(IRVar):
@@ -40,6 +64,11 @@ class RDom:
 
     def vars(self) -> list[IRVar]:
         return [IRVar(f"r_{d}") for d in range(self.dimensions)]
+
+
+#: Default RDom strip height (source rows per partial accumulator) for an
+#: associative-parallel reduction whose schedule carries no ``tile_y``.
+DEFAULT_REDUCTION_STRIP = 64
 
 
 @dataclass
@@ -160,8 +189,10 @@ class Func:
     def parallel(self, enabled: bool = True) -> "Func":
         """Request tile-parallel execution on the shared worker pool.
 
-        Only effective together with :meth:`tile` on a pure rank>=2 function;
-        otherwise the compiled engine warns once and runs serially (see
+        Effective together with :meth:`tile` on a pure rank>=2 function, and
+        on associative reductions (RDom strips accumulate into private
+        partial accumulators, merged serially); otherwise the compiled
+        engine warns once and runs serially (see
         :meth:`parallel_unsupported_reason`).
         """
         self.schedule.parallel = enabled
@@ -197,16 +228,66 @@ class Func:
         self.schedule.compute_at = (consumer_name, var_name)
         return self
 
+    def reduction_increment(self) -> Optional[Expr]:
+        """The pure increment ``k`` of an update ``f(idx) = f(idx) + k``.
+
+        None when the Func has no reduction, or when its update is not an
+        accumulation of a self-independent increment (scatter-assign
+        updates, or increments/indices that read the accumulator itself).
+        """
+        if self.reduction is None:
+            return None
+        rdom, index_exprs, update = self.reduction
+        increment = _strip_self_reference(update, self.name)
+        if increment is None:
+            return None
+        for expr in (increment, *index_exprs):
+            for node in expr.walk():
+                if isinstance(node, BufferAccess) and node.buffer == self.name:
+                    return None            # reads the running accumulator
+        return increment
+
+    def reduction_is_associative(self) -> bool:
+        """Can this reduction be split into parallel partial accumulators?
+
+        True for modular-integer accumulations ``f(idx) = f(idx) + k`` whose
+        increment and index expressions never read the accumulator: wrapping
+        integer addition is associative and commutative, so disjoint RDom
+        sweeps into private partials merged serially are bit-identical to
+        the one serial whole-domain sweep.  Float accumulations (rounding
+        depends on summation order) and scatter-assign updates (last write
+        wins) are not.
+        """
+        if self.reduction is None or not self.dtype.is_integer:
+            return False
+        return self.reduction_increment() is not None
+
+    def reduction_strip_rows(self) -> int:
+        """Source rows per partial accumulator for a parallel reduction.
+
+        The reduction analogue of a tile size: ``tile_y`` splits the RDom's
+        outermost (NumPy) axis into strips, each accumulated into a private
+        partial; untiled schedules use :data:`DEFAULT_REDUCTION_STRIP`.
+        Autotuning samples this together with the parallel flag.
+        """
+        return self.schedule.tile_y if self.schedule.tile_y > 0 \
+            else DEFAULT_REDUCTION_STRIP
+
     def parallel_unsupported_reason(self) -> Optional[str]:
         """Why ``schedule.parallel`` cannot be honoured, or None if it can.
 
         Parallel execution distributes the tiles of a pure, rank>=2 tiled
-        loop nest; anything else has no independent decomposition to fan out.
+        loop nest — or, for an associative reduction, disjoint RDom strips
+        accumulated into private partials and merged serially.  Anything
+        else has no independent decomposition to fan out.
         """
+        if self.reduction is not None:
+            if not self.reduction_is_associative():
+                return ("the reduction update is not an associative integer "
+                        "accumulation (no parallel partial accumulators)")
+            return None
         if self.value is None:
             return "the function has no pure definition to tile"
-        if self.reduction is not None:
-            return "reduction updates serialize on the accumulator"
         if len(self.variables) < 2:
             return "parallel tiling needs at least two loop dimensions"
         if self.schedule.tile_x <= 0 or self.schedule.tile_y <= 0:

@@ -21,10 +21,26 @@ realizer applies.  Tiles whose footprint stays inside the frame take a
 pure-shift fast path; border tiles take a clamped-index path — the
 :class:`~repro.ir.stmt.IfThenElse` split Halide calls loop partitioning.
 
+Reduction (RDom) stages are first-class lowered stages: the pure initializer
+becomes an ordinary :class:`~repro.ir.stmt.Store`, the update becomes a
+:class:`~repro.ir.stmt.ReduceLoop` sweep over the RDom source (whose extents
+fold into the required region exactly like a stencil footprint — the whole
+source domain), and associative accumulations scheduled ``parallel`` lower
+to a **two-phase schedule**: disjoint source strips fill private partial
+accumulators under a parallel :class:`~repro.ir.stmt.For`, then a
+deterministic serial merge loop (:class:`~repro.ir.stmt.AccumMerge`) folds
+the partials into the output.  Non-associative updates (scatter-assign,
+float accumulation) keep a single serialized whole-domain sweep —
+bit-identical to the interpreter oracle by construction.
+
 What demotes to ``compute_root`` (recorded in the report): taps into the
 producer that are not axis-aligned shifted windows (no finite footprint to
-infer bounds from), reduction stages on either side, and anchor names that
-do not match the consuming stage.
+infer bounds from), ``compute_at`` requests on or into a reduction stage
+(an accumulator materializes whole, and its consumer reads whole frames),
+and anchor names that do not match the consuming stage.  What still falls
+back to the legacy stage-by-stage path (:class:`PipelineLoweringError`):
+reduction stages whose RDom does not range over the stage's own input at
+frame rank, or that pad their input.
 """
 
 from __future__ import annotations
@@ -33,6 +49,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..ir import (
+    AccumMerge,
     Allocate,
     BinOp,
     Block,
@@ -47,12 +64,13 @@ from ..ir import (
     PadEdge,
     Param,
     ProducerConsumer,
+    ReduceLoop,
     Stmt,
     Store,
     Var as IRVar,
     canonicalize,
 )
-from .func import Func, Schedule
+from .func import Func, RDom, Schedule
 
 
 class PipelineLoweringError(Exception):
@@ -302,6 +320,75 @@ def _retarget(expr: Expr, input_name: str, target: str, *,
     return rec(expr)
 
 
+def _rename_buffers(expr: Expr, mapping: dict[str, str]) -> Expr:
+    """Rewrite every tap into a renamed buffer (indices rewritten too)."""
+
+    def rec(node: Expr) -> Expr:
+        if isinstance(node, BufferAccess) and node.buffer in mapping:
+            return BufferAccess(mapping[node.buffer],
+                                [rec(index) for index in node.indices],
+                                node.dtype)
+        children = [rec(child) for child in node.children]
+        if children != list(node.children):
+            return node.with_children(children)
+        return node
+
+    return rec(expr)
+
+
+def _reduction_sweep(sched_func: Func, update_func: Func, out_buffer: str,
+                     partials_buffer: str, out_shape: Sequence[int],
+                     source_shape: Sequence[int], var_prefix: str,
+                     let_prefix: str) -> tuple[Stmt, str]:
+    """The update phase of one reduction: serial sweep or two-phase strips.
+
+    ``sched_func`` supplies the schedule (parallel flag, strip height) and
+    ``update_func`` is what the sweeps execute (taps already retargeted by
+    the caller; the two may be the same Func).  Associative accumulations
+    scheduled ``parallel`` produce the two-phase form — per-strip private
+    partial accumulators (a zero-filled ``Allocate`` of one ``out_shape``
+    slab per strip) filled under a parallel ``For``, then a deterministic
+    serial merge loop — everything else the single serialized whole-domain
+    ``ReduceLoop`` the oracle runs.  Returns ``(stmt, description)``; both
+    the pipeline lowering and the standalone ``--explain`` form build from
+    this one helper so they can never drift apart.
+    """
+    rank = len(source_shape)
+    associative = update_func.reduction_is_associative()
+    strip = sched_func.reduction_strip_rows()
+    rows = source_shape[0] if source_shape else 0
+    strips = -(-rows // strip) if rows else 1
+    parallel = (sched_func.schedule.parallel and associative and strips >= 2
+                and sched_func.parallel_unsupported_reason() is None)
+    if not parallel:
+        description = ("serial whole-domain sweep"
+                       + ("" if associative else " (non-associative update)"))
+        return ReduceLoop(buffer=out_buffer, func=update_func,
+                          source_origin=(0,) * rank,
+                          source_extent=tuple(source_shape),
+                          associative=associative,
+                          label="whole-domain"), description
+
+    strip_var = IRVar(f"{var_prefix}.rstrip")
+    lets = _Lets()
+    lo = lets.bind(f"{let_prefix}lo", _mul(strip_var, strip))
+    ext0 = lets.bind(f"{let_prefix}ext", _min_(strip, _sub(rows, lo)))
+    sweep = ReduceLoop(buffer=partials_buffer, func=update_func,
+                       source_origin=tuple([lo] + [0] * (rank - 1)),
+                       source_extent=tuple([ext0] + list(source_shape[1:])),
+                       associative=True, target_index=strip_var,
+                       label="partial")
+    fill = For(strip_var.name, 0, strips, lets.wrap(sweep), kind="parallel")
+    merge_var = IRVar(f"{var_prefix}.merge")
+    merge = For(merge_var.name, 0, strips,
+                AccumMerge(target=out_buffer, source=partials_buffer,
+                           index=merge_var, label="merge"))
+    description = f"two-phase ({strips} strips x {strip} rows + serial merge)"
+    return Allocate(partials_buffer, update_func.dtype,
+                    (strips,) + tuple(out_shape),
+                    Block([fill, merge]), fill=0), description
+
+
 def _used_params(expr: Expr, candidates: dict[str, object]) -> dict:
     names = {node.name for node in expr.walk() if isinstance(node, Param)}
     return {name: value for name, value in candidates.items() if name in names}
@@ -325,6 +412,10 @@ class StageDecision:
     footprint: Optional[list[tuple[int, int]]] = None   # per np axis (lo, hi)
     scratch_extent: Optional[tuple[int, ...]] = None    # steady-state, np order
     buffer: str = ""
+    #: For reduction stages: the update schedule actually lowered, e.g.
+    #: ``"two-phase (10 strips x 64 rows + serial merge)"`` or
+    #: ``"serial whole-domain sweep"``.
+    reduction: Optional[str] = None
 
     def describe(self) -> str:
         parts = [f"{self.name}: {self.level}"]
@@ -339,6 +430,8 @@ class StageDecision:
         if self.scratch_extent is not None:
             parts.append("scratch "
                          + "x".join(str(e) for e in self.scratch_extent))
+        if self.reduction is not None:
+            parts.append(f"reduction {self.reduction}")
         if self.demoted_reason:
             parts.append(f"(demoted from {self.requested}: "
                          f"{self.demoted_reason})")
@@ -399,16 +492,24 @@ class _Lowerer:
         contexts: list[_StageCtx] = []
         for index, stage in enumerate(stages):
             func = stage.func
-            if func.reduction is not None or func.value is None:
+            if func.reduction is None and func.value is None:
                 raise PipelineLoweringError(
-                    f"stage {stage.name} has a reduction/undefined value; "
-                    "the legacy realization path handles it")
+                    f"stage {stage.name} has no definition; the legacy "
+                    "realization path handles it")
             if len(func.variables) != self.rank:
                 raise PipelineLoweringError(
                     f"stage {stage.name} rank {len(func.variables)} != frame "
                     f"rank {self.rank}")
             pad_before = [pair[0] for pair in _pad_pairs(stage, self.rank)]
-            footprint = _stage_footprint(func, stage.input_name, pad_before)
+            if func.reduction is not None:
+                self._check_reduction_lowerable(stage, func, pad_before)
+                # A reduction reads its whole input domain: no finite stencil
+                # footprint, and nothing upstream can compute_at into it.
+                footprint = _Footprint([0] * self.rank, [0] * self.rank,
+                                       stencil=False)
+            else:
+                footprint = _stage_footprint(func, stage.input_name,
+                                             pad_before)
             contexts.append(_StageCtx(
                 index=index, stage=stage, func=func,
                 input_buffer="", output_buffer="",
@@ -429,7 +530,14 @@ class _Lowerer:
                 anchor = schedule.compute_at
                 consumer_names = {consumer.stage.name, consumer.func.name}
                 consumer_vars = {v.name for v in consumer.func.variables}
-                if anchor is None or anchor[0] not in consumer_names:
+                if ctx.func.reduction is not None:
+                    reason = ("a reduction accumulator materializes whole; "
+                              "compute_at is not supported")
+                elif consumer.func.reduction is not None:
+                    reason = (f"consumer {consumer.stage.name} is a "
+                              "reduction stage (its RDom sweeps the whole "
+                              "input domain)")
+                elif anchor is None or anchor[0] not in consumer_names:
                     reason = (f"compute_at consumer {anchor and anchor[0]!r} "
                               f"is not the consuming stage "
                               f"{consumer.stage.name!r}")
@@ -579,8 +687,98 @@ class _Lowerer:
 
     # -- group lowering ------------------------------------------------------
 
+    # -- reduction stages ----------------------------------------------------
+
+    def _check_reduction_lowerable(self, stage, func: Func,
+                                   pad_before: Sequence[int]) -> None:
+        """Raise :class:`PipelineLoweringError` for reduction geometries the
+        loop-nest IR cannot express (the legacy path still realizes them)."""
+        rdom = func.reduction[0]
+        if rdom.source != stage.input_name:
+            raise PipelineLoweringError(
+                f"reduction stage {stage.name}: RDom ranges over "
+                f"{rdom.source!r}, not the stage input {stage.input_name!r}")
+        if rdom.dimensions != self.rank:
+            raise PipelineLoweringError(
+                f"reduction stage {stage.name}: RDom rank {rdom.dimensions} "
+                f"!= frame rank {self.rank}")
+        if any(pad != 0 for pad in pad_before) or stage.pad != 0 \
+                or stage.pad_width is not None:
+            raise PipelineLoweringError(
+                f"reduction stage {stage.name}: padded inputs would change "
+                "the RDom extents")
+
+    def _reduction_update_func(self, ctx: _StageCtx) -> Func:
+        """The reduction update retargeted to the lowered buffer names.
+
+        Taps into the stage input read the resolved input buffer; the
+        accumulator self-reference follows the clone's name (the executor
+        binds the target buffer under it, exactly as the whole-Func
+        realizers bind the output).  The name is deterministic per stage so
+        the compiled backend's kernel cache hits across frames.
+        """
+        rdom, index_exprs, update = ctx.func.reduction
+        name = f"{ctx.stage.name}#{ctx.index}.update"
+        mapping = {}
+        if ctx.stage.input_name != ctx.input_buffer:
+            mapping[ctx.stage.input_name] = ctx.input_buffer
+        if ctx.func.name != name:
+            mapping[ctx.func.name] = name
+        clone = Func(name=name, variables=list(ctx.func.variables),
+                     value=None, dtype=ctx.func.dtype,
+                     inputs=list(ctx.func.inputs),
+                     schedule=Schedule(fuse_producers=False))
+        clone.reduction = (
+            RDom(rdom.name, source=ctx.input_buffer,
+                 dimensions=rdom.dimensions),
+            [canonicalize(_rename_buffers(e, mapping)) for e in index_exprs],
+            canonicalize(_rename_buffers(update, mapping)))
+        return clone
+
+    def _lower_reduction(self, ctx: _StageCtx) -> Stmt:
+        """Init store + update sweep(s) for one reduction stage.
+
+        Associative accumulations scheduled ``parallel`` take the two-phase
+        form: a parallel loop fills one private partial accumulator per RDom
+        row strip (``Allocate`` with an identity fill), then a serial merge
+        loop folds the partials into the initialized output — bit-identical
+        to the serial whole-domain sweep because wrapping integer addition
+        is associative and commutative.  Everything else (non-associative
+        updates, serial schedules, single-strip domains) keeps the one
+        serialized whole-domain ``ReduceLoop`` the oracle runs.
+        """
+        rank = self.rank
+        func = ctx.func
+        init_value = func.value if func.value is not None else Const(0, INT32)
+        init_func = Func(name=func.name, variables=list(func.variables),
+                         value=init_value, dtype=func.dtype,
+                         inputs=list(func.inputs))
+        init_ctx = _StageCtx(
+            index=ctx.index, stage=ctx.stage, func=init_func,
+            input_buffer=ctx.input_buffer, output_buffer=ctx.output_buffer,
+            pad_before=ctx.pad_before,
+            footprint=_stage_footprint(init_func, ctx.stage.input_name,
+                                       ctx.pad_before),
+            level=ctx.level, decision=ctx.decision)
+        init = self._store_global(init_ctx, [0] * rank,
+                                  list(self.frame_shape), _Lets(),
+                                  static=True)
+
+        update_func = self._reduction_update_func(ctx)
+        sweep, description = _reduction_sweep(
+            func, update_func, ctx.output_buffer,
+            f"{ctx.stage.name}.partials#{ctx.index}",
+            self.frame_shape, self.frame_shape,
+            ctx.stage.name, f"s{ctx.index}.r")
+        ctx.decision.reduction = description
+        return Block([init, sweep])
+
+    # -- pure-stage group lowering -------------------------------------------
+
     def _lower_group(self, consumer: _StageCtx,
                      chain: list[_StageCtx]) -> Stmt:
+        if consumer.func.reduction is not None:
+            return self._lower_reduction(consumer)
         schedule = consumer.func.schedule
         rank = self.rank
         tiled = (schedule.tile_x > 0 and schedule.tile_y > 0 and rank >= 2)
@@ -983,6 +1181,39 @@ class _Lowerer:
                      func=self._store_func(consumer, expr, "consume"),
                      eval_origin=tuple([0] * self.rank),
                      param_exprs=params, label="consume")
+
+
+def lower_reduction_func(func: Func, out_shape: Sequence[int],
+                         source_shape: Sequence[int]) -> Stmt:
+    """A standalone lowered form of one reduction Func, for inspection.
+
+    Returns the init / update / merge phases of the given reduction as a
+    ``Stmt`` tree over an accumulator of ``out_shape`` swept from a source
+    of ``source_shape`` (both NumPy axis order) — what ``python -m repro
+    run --explain`` prints for lifted table kernels.  Unlike
+    :func:`lower_pipeline` this does not require the reduction to be
+    rank-preserving, so a 256-bin histogram over a 2-D frame lowers here
+    even though it cannot join a frame-shaped pipeline.  Buffer names match
+    the whole-Func realizers' bindings (``rdom.source`` for the source, the
+    Func's own name for the accumulator self-reference).
+    """
+    if func.reduction is None:
+        raise PipelineLoweringError(f"{func.name} has no reduction update")
+    out_shape = tuple(int(e) for e in out_shape)
+    source_shape = tuple(int(e) for e in source_shape)
+    out_buffer = f"{func.name}.out"
+    out_rank = len(out_shape)
+    init_value = func.value if func.value is not None else Const(0, INT32)
+    init_func = Func(name=f"{func.name}.init",
+                     variables=list(func.variables), value=init_value,
+                     dtype=func.dtype, inputs=list(func.inputs),
+                     schedule=Schedule(fuse_producers=False))
+    init = Store(buffer=out_buffer, offset=(0,) * out_rank, extent=out_shape,
+                 func=init_func, eval_origin=(0,) * out_rank, label="init")
+    sweep, _description = _reduction_sweep(
+        func, func, out_buffer, f"{func.name}.partials",
+        out_shape, source_shape, func.name, f"{func.name}.r")
+    return Block([init, sweep])
 
 
 def lower_pipeline(pipeline, frame_shape: Sequence[int]) -> LoweredPipeline:

@@ -17,9 +17,11 @@ request — run their tiles serially), so the shared pool cannot deadlock on
 itself.
 
 Every realization records its real execution mode in :data:`execution_stats`;
-schedules that request ``parallel`` but cannot be honoured (untiled,
-reductions, rank < 2) emit a :class:`ParallelFallbackWarning` once per kernel
-signature at compile time.
+schedules that request ``parallel`` but cannot be honoured (untiled pure
+funcs, non-associative reductions, rank < 2) emit a
+:class:`ParallelFallbackWarning` once per kernel signature at compile time.
+Associative reductions parallelize through :func:`run_reduction_strips` —
+private partial accumulators per RDom strip, merged serially.
 """
 
 from __future__ import annotations
@@ -28,6 +30,8 @@ import os
 import threading
 import warnings
 from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
 
 #: Thread-name prefix identifying the shared pool's workers; used to detect
 #: (and serialize) nested parallelism instead of deadlocking the pool.
@@ -223,6 +227,45 @@ def run_tiles(body, out, tiles, buffers, params) -> None:
 def _run_one_tile(body, out, origin, extent, buffers, params) -> None:
     region = tuple(slice(o, o + e) for o, e in zip(origin, extent))
     out[region] = body(origin, extent, buffers, params)
+
+
+def run_reduction_strips(reduce_fn, out, source_shape, strip, buffers,
+                         params) -> None:
+    """Two-phase associative reduction over the shared worker pool.
+
+    Splits the RDom source's outermost axis into ``strip``-row strips, fans
+    each strip's update sweep into a *private* partial accumulator
+    (``np.add.at`` releases the GIL for the indexed work, so the strips
+    scale on multicore hosts), then merges the partials into ``out`` with a
+    deterministic serial loop.  Only valid for associative combine ops
+    (modular integer accumulation) — for those, any strip split merges to a
+    result bit-identical to the single serial whole-domain sweep, which is
+    also the fallback when the cost heuristic keeps the call serial.
+    ``reduce_fn(out, origin, extent, buffers, params)`` is the compiled
+    ``_reduce`` body from :mod:`repro.halide.compile`.
+    """
+    axis0 = source_shape[0] if source_shape else 0
+    rank = len(source_shape)
+    count = -(-axis0 // strip) if strip > 0 and axis0 > 0 else 1
+    if count < 2 or not choose_tile_executor(source_shape, count):
+        reduce_fn(out, (0,) * rank, tuple(source_shape), buffers, params)
+        record_execution(False, 1)
+        return
+    rest = tuple(source_shape[1:])
+    partials = np.zeros((count,) + out.shape, dtype=out.dtype)
+
+    def one_strip(index: int) -> None:
+        lo = index * strip
+        extent = (min(strip, axis0 - lo),) + rest
+        reduce_fn(partials[index], (lo,) + (0,) * (rank - 1), extent,
+                  buffers, params)
+
+    futures = [submit_task(one_strip, index) for index in range(count)]
+    for future in futures:
+        future.result()
+    for index in range(count):          # deterministic serial merge
+        np.add(out, partials[index], out=out)
+    record_execution(True, count)
 
 
 _warned_signatures: set = set()

@@ -149,9 +149,11 @@ class FuncPipeline:
     Stages carrying an explicit compute level (``func.compute_root()`` /
     ``func.compute_at(consumer, var)``) are realized through the lowered
     loop-nest IR (:mod:`repro.halide.lower`): bounds are inferred consumer
-    to producer, borders are clamped instead of padded, and ``compute_at``
+    to producer, borders are clamped instead of padded, ``compute_at``
     producers materialize into tile-plus-ghost-zone scratch buffers instead
-    of full-frame temporaries.  Default-scheduled stages keep the legacy
+    of full-frame temporaries, and reduction (RDom) stages lower to an init
+    store plus update sweeps — with parallel partial accumulators for
+    associative accumulations.  Default-scheduled stages keep the legacy
     padded stage-by-stage path; both are bit-identical.
     """
 
@@ -201,12 +203,18 @@ class FuncPipeline:
         parts = []
         for stage in self.stages:
             schedule = stage.func.schedule
+            reduction_key = None
+            if stage.func.reduction is not None:
+                rdom, index_exprs, update = stage.func.reduction
+                reduction_key = (rdom.name, rdom.source, rdom.dimensions,
+                                 tuple(e.cached_key() for e in index_exprs),
+                                 update.cached_key())
             parts.append((
                 stage.name, stage.input_name, stage.pad, stage.pad_width,
                 stage.func.name, stage.func.dtype,
                 stage.func.value.cached_key() if stage.func.value is not None
                 else None,
-                stage.func.reduction is not None,
+                reduction_key,
                 schedule.compute, schedule.compute_at,
                 schedule.tile_x, schedule.tile_y, schedule.parallel))
         return (tuple(frame_shape), tuple(parts))
@@ -221,7 +229,8 @@ class FuncPipeline:
 
         Returns a :class:`~repro.halide.lower.LoweredPipeline`; raises
         :class:`~repro.halide.lower.PipelineLoweringError` when the pipeline
-        cannot be expressed in the loop-nest IR (reduction stages).
+        cannot be expressed in the loop-nest IR (e.g. a reduction whose RDom
+        does not range over the stage's own input at frame rank).
         """
         from .lower import lower_pipeline
 
@@ -278,7 +287,7 @@ class FuncPipeline:
             try:
                 lowered = self.lower(np.asarray(image).shape)
             except PipelineLoweringError:
-                pass                       # reductions: legacy path below
+                pass           # unlowerable geometry: legacy path below
             if lowered is not None:
                 from .backends import get_backend
                 from .realize import get_default_engine

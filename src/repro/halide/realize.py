@@ -27,7 +27,9 @@ from ..ir import (
     UnOp,
     Var,
 )
-from .func import Func
+# _strip_self_reference lives in func.py (next to the associativity test it
+# underpins) and stays importable from here for the compiled backend.
+from .func import Func, _strip_self_reference  # noqa: F401
 
 
 class RealizationError(Exception):
@@ -160,14 +162,27 @@ def _trunc_divide(a, b):
     Python's ``//`` floors, which differs for exactly one negative operand
     (``-7 // 2 == -4`` but ``idiv`` gives ``-3``); lifted kernels must realize
     the division the traced binary performed.
+
+    A zero divisor raises :class:`RealizationError` — x86 ``idiv`` faults
+    (``#DE``), so the one semantics both engines share is a hard error, not
+    NumPy's warning-plus-garbage.  (Compiled kernels call this same helper,
+    so the check cannot diverge between engines.)
     """
+    b = np.asarray(b)
+    if b.size and not np.all(b):
+        raise RealizationError(
+            "integer division by zero (x86 idiv raises #DE)")
     quotient = np.floor_divide(a, b)
     remainder = a - quotient * b
     return quotient + ((remainder != 0) & ((a < 0) != (b < 0)))
 
 
 def _trunc_remainder(a, b):
-    """Integer remainder with the dividend's sign, matching x86 ``idiv``."""
+    """Integer remainder with the dividend's sign, matching x86 ``idiv``.
+
+    Shares :func:`_trunc_divide`'s zero-divisor semantics: a hard
+    :class:`RealizationError` in both engines.
+    """
     return a - _trunc_divide(a, b) * b
 
 
@@ -284,31 +299,56 @@ def realize_interp(func: Func, shape: tuple[int, ...], buffers: Mapping[str, np.
         output = np.zeros(np_shape, dtype=func.dtype.to_numpy())
 
     if func.reduction is not None:
-        rdom, index_exprs, update = func.reduction
+        rdom = func.reduction[0]
         source = buffers.get(rdom.source)
         if source is None:
             raise RealizationError(f"no binding for reduction source {rdom.source}")
-        r_shape = source.shape
-        grids = np.meshgrid(*[np.arange(e) for e in r_shape], indexing="ij")
-        env = {}
-        for position, var in enumerate(rdom.vars()):
-            env[var.name] = grids[len(r_shape) - 1 - position]
-        buffers_with_output = dict(buffers)
-        buffers_with_output[func.name] = output
-        indices = [np.asarray(_evaluate(e, env, buffers_with_output, params)).astype(np.int64)
-                   for e in index_exprs]
-        np_index = tuple(reversed(indices))
-        # Evaluate the update right-hand side with the *current* output, then
-        # apply increments with np.add.at so repeated bins accumulate.
-        update_wo_self = _strip_self_reference(update, func.name)
-        if update_wo_self is not None:
-            increment = _evaluate(update_wo_self, env, buffers_with_output, params)
-            np.add.at(output, np_index, np.broadcast_to(increment, indices[0].shape)
-                      .astype(output.dtype))
-        else:
-            values = _evaluate(update, env, buffers_with_output, params)
-            output[np_index] = _wrap_cast(values, func.dtype).astype(func.dtype.to_numpy())
+        reduce_region_interp(func, output, (0,) * source.ndim, source.shape,
+                             buffers, params)
     return output
+
+
+def reduce_region_interp(func: Func, out: np.ndarray,
+                         origin: tuple[int, ...], extent: tuple[int, ...],
+                         buffers: Mapping[str, np.ndarray],
+                         params: Mapping[str, float] | None = None) -> np.ndarray:
+    """Apply a Func's reduction update over one RDom sub-region, in place.
+
+    ``origin``/``extent`` restrict the sweep to a rectangle of the reduction
+    source (NumPy axis order, global source coordinates); the full-domain
+    call is exactly :func:`realize_interp`'s reduction phase.  Associative
+    updates (``f(idx) + k``) accumulate with ``np.add.at`` so disjoint
+    sub-region sweeps sum to the whole-domain result; non-associative
+    updates scatter-assign and must only ever be swept whole-domain.  This
+    is the interpreter backend's primitive for lowered
+    :class:`~repro.ir.stmt.ReduceLoop` nodes and the fallback the compiled
+    backend uses when its reduction body cannot run.
+    """
+    params = params or {}
+    if func.reduction is None:
+        raise RealizationError(f"function {func.name} has no reduction update")
+    rdom, index_exprs, update = func.reduction
+    grids = np.meshgrid(*[np.arange(int(o), int(o) + int(e))
+                          for o, e in zip(origin, extent)], indexing="ij")
+    env = {}
+    for position, var in enumerate(rdom.vars()):
+        env[var.name] = grids[len(extent) - 1 - position]
+    buffers_with_output = dict(buffers)
+    buffers_with_output[func.name] = out
+    indices = [np.asarray(_evaluate(e, env, buffers_with_output, params)).astype(np.int64)
+               for e in index_exprs]
+    np_index = tuple(reversed(indices))
+    # Evaluate the update right-hand side with the *current* output, then
+    # apply increments with np.add.at so repeated bins accumulate.
+    update_wo_self = _strip_self_reference(update, func.name)
+    if update_wo_self is not None:
+        increment = _evaluate(update_wo_self, env, buffers_with_output, params)
+        np.add.at(out, np_index, np.broadcast_to(increment, indices[0].shape)
+                  .astype(out.dtype))
+    else:
+        values = _evaluate(update, env, buffers_with_output, params)
+        out[np_index] = _wrap_cast(values, func.dtype).astype(func.dtype.to_numpy())
+    return out
 
 
 def realize_region_interp(func: Func, origin: tuple[int, ...],
@@ -341,18 +381,3 @@ def realize_region_interp(func: Func, origin: tuple[int, ...],
     return _wrap_cast(output, func.dtype).astype(func.dtype.to_numpy())
 
 
-def _strip_self_reference(update: Expr, name: str):
-    """For updates of the form ``f(idx) + k`` return ``k`` (the increment)."""
-    from ..ir import BinOp as IRBinOp, BufferAccess as IRBufferAccess, Cast as IRCast
-
-    node = update
-    while isinstance(node, IRCast):
-        node = node.a
-    if isinstance(node, IRBinOp) and node.op == Op.ADD:
-        for self_side, other in ((node.a, node.b), (node.b, node.a)):
-            inner = self_side
-            while isinstance(inner, IRCast):
-                inner = inner.a
-            if isinstance(inner, IRBufferAccess) and inner.buffer == name:
-                return other
-    return None

@@ -99,6 +99,8 @@ class PipelineServer:
         self._slots = threading.BoundedSemaphore(self.max_pending)
         self._lock = threading.Lock()
         self._closed = False
+        self._inflight = 0
+        self._idle = threading.Condition(self._lock)
         self._stats = {"submitted": 0, "completed": 0, "failed": 0,
                        "busy_seconds": 0.0}
         self._warm_compile(frame_shape)
@@ -118,7 +120,7 @@ class PipelineServer:
             return
         if frame_shape is not None and isinstance(self.target, FuncPipeline) \
                 and self.target.uses_lowering():
-            from ..ir import Store
+            from ..ir import ReduceLoop, Store
             from .lower import PipelineLoweringError
 
             try:
@@ -126,10 +128,11 @@ class PipelineServer:
             except PipelineLoweringError:
                 lowered = None               # legacy fallback: warm below
             if lowered is not None:
-                # The lowered executor only runs store kernels; the
-                # per-stage whole-Func kernels would be dead weight.
+                # The lowered executor only runs store kernels and reduction
+                # update sweeps; the per-stage whole-Func kernels would be
+                # dead weight.
                 for node in lowered.stmt.walk():
-                    if isinstance(node, Store):
+                    if isinstance(node, (ReduceLoop, Store)):
                         compile_func(node.func)
                 return
         funcs = [self.target] if isinstance(self.target, Func) \
@@ -137,9 +140,25 @@ class PipelineServer:
         for func in funcs:
             compile_func(func)
 
-    def close(self) -> None:
-        """Refuse further submissions (in-flight requests still finish)."""
-        self._closed = True
+    def close(self, wait: bool = False) -> None:
+        """Refuse further submissions (in-flight requests still finish).
+
+        The closed flag is written under the server lock, and ``submit``
+        re-checks it both before admission and *after* acquiring a pending
+        slot — so a submit that was already blocked on the slot semaphore
+        when ``close`` ran raises instead of slipping a request into a
+        closed server (the race the unguarded flag allowed).
+
+        ``close(wait=True)`` additionally blocks until every in-flight
+        request has finished, so resources the requests use can be torn
+        down safely afterwards.  Do not call it from inside a request (it
+        would wait on itself).
+        """
+        with self._lock:
+            self._closed = True
+            if wait:
+                while self._inflight:
+                    self._idle.wait()
 
     def __enter__(self) -> "PipelineServer":
         return self
@@ -167,18 +186,26 @@ class PipelineServer:
         ``REPRO_PARALLEL=0`` kill switch also forces inline execution, so it
         really does serialize the whole stack, serving included.
         """
-        if self._closed:
-            raise RuntimeError("PipelineServer is closed")
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("PipelineServer is closed")
         task = self._make_task(image=image, shape=shape, buffers=buffers,
                                params=params)
         if in_worker() or not parallel_enabled():
             return self._run_inline(task)
         self._slots.acquire()
         with self._lock:
+            # Re-check after the (possibly long) slot wait: a submit blocked
+            # on admission must not slip past a concurrent close().
+            if self._closed:
+                self._slots.release()
+                raise RuntimeError("PipelineServer is closed")
             self._stats["submitted"] += 1
+            self._inflight += 1
         try:
             future = submit_task(self._run_request, task)
         except BaseException:
+            self._finish_one()
             self._slots.release()
             raise
         future.add_done_callback(self._on_done)
@@ -263,14 +290,29 @@ class PipelineServer:
         """
         future: Future = Future()
         with self._lock:
+            # Same re-check the pooled path makes when taking its slot: a
+            # close() that ran after submit()'s entry check must win, or
+            # close(wait=True) could return while this request still runs.
+            if self._closed:
+                raise RuntimeError("PipelineServer is closed")
             self._stats["submitted"] += 1
+            self._inflight += 1
         try:
             result = self._run_request(task)
         except BaseException as exc:
             future.set_exception(exc)
         else:
             future.set_result(result)
+        finally:
+            self._finish_one()
         return future
+
+    def _finish_one(self) -> None:
+        """One request left flight; wake a ``close(wait=True)`` drainer."""
+        with self._lock:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.notify_all()
 
     def _on_done(self, future) -> None:
         self._slots.release()
@@ -278,6 +320,7 @@ class PipelineServer:
             # A cancelled request never ran _run_request, so count it here.
             with self._lock:
                 self._stats["failed"] += 1
+        self._finish_one()
 
 
 def realize_batch(target: Func | FuncPipeline, requests: Sequence, *,

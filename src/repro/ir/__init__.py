@@ -21,6 +21,7 @@ from .expr import (
 )
 from .simplify import canonicalize, canonicalize_stats, clear_canonicalize_cache, evaluate, simplify
 from .stmt import (
+    AccumMerge,
     Allocate,
     Block,
     For,
@@ -28,6 +29,7 @@ from .stmt import (
     Let,
     PadEdge,
     ProducerConsumer,
+    ReduceLoop,
     Stmt,
     Store,
     stmt_to_str,
@@ -59,7 +61,7 @@ __all__ = [
     "Numbering", "number_subtrees", "shared_subtrees", "structural_hash",
     "unique_subtrees",
     "Stmt", "Block", "For", "Allocate", "ProducerConsumer", "IfThenElse",
-    "Let", "Store", "PadEdge", "stmt_to_str",
+    "Let", "Store", "PadEdge", "ReduceLoop", "AccumMerge", "stmt_to_str",
     "DType", "TypeKind", "dtype_from_name", "signed_of_width", "unsigned_of_width",
     "UINT8", "UINT16", "UINT32", "UINT64", "INT8", "INT16", "INT32", "INT64",
     "FLOAT32", "FLOAT64",

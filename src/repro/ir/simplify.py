@@ -183,6 +183,12 @@ def _simplify_node(expr: Expr) -> Expr:
     if isinstance(expr, BinOp):
         a, b = expr.a, expr.b
         if isinstance(a, Const) and isinstance(b, Const):
+            if expr.op in (Op.DIV, Op.MOD) and not expr.dtype.is_float \
+                    and int(b.value) == 0:
+                # Folding would crash at canonicalize time; leave the node
+                # so realization raises the engines' one division-by-zero
+                # semantics (RealizationError, mirroring x86 #DE).
+                return expr
             return _fold_binop(expr.op, a, b, expr.dtype)
         if expr.op == Op.ADD:
             if isinstance(a, Const) and a.value == 0:

@@ -147,12 +147,15 @@ class Allocate(Stmt):
 
     ``extents`` are in NumPy axis order and may depend on the enclosing loop
     variables — a partial tile at the frame edge allocates a smaller buffer.
+    ``fill`` (when not None) zero-/value-initializes the allocation; partial
+    reduction accumulators start at the combine op's identity this way.
     """
 
     buffer: str
     dtype: object                       # repro.ir.types.DType
     extents: tuple[Scalar, ...]
     body: Stmt
+    fill: Optional[object] = None
 
     @property
     def children(self) -> tuple[Stmt, ...]:
@@ -160,8 +163,9 @@ class Allocate(Stmt):
 
     def _lines(self, indent: int) -> list[str]:
         pad = "  " * indent
+        fill = "" if self.fill is None else f" = {self.fill}"
         lines = [f"{pad}allocate {self.buffer}[{self.dtype}]"
-                 f"{_tuple_str(self.extents)} {{"]
+                 f"{_tuple_str(self.extents)}{fill} {{"]
         lines.extend(self.body._lines(indent + 1))
         lines.append(f"{pad}}}")
         return lines
@@ -250,6 +254,71 @@ class Store(Stmt):
         return [f"{pad}{self.buffer}[{_tuple_str(self.offset)} + "
                 f"{_tuple_str(self.extent)}] = {getattr(self.func, 'name', '?')}"
                 f"(grid @ {_tuple_str(self.eval_origin)}){tag}"]
+
+
+@dataclass
+class ReduceLoop(Stmt):
+    """Apply one reduction update sweep over a sub-region of its RDom source.
+
+    ``func`` is a mini-Halide Func carrying a reduction update (its taps
+    already retargeted by the lowering for this buffer frame); the executor
+    evaluates the update's index expressions and increment over the RDom grid
+    restricted to ``source_origin``/``source_extent`` (NumPy axis order,
+    *global* source coordinates) and applies them in place to ``buffer`` — or
+    to ``buffer[target_index]`` when ``target_index`` selects one slab of a
+    partial-accumulator stack.
+
+    ``associative`` records the lowering's proof that the combine op is an
+    associative (modular-integer) accumulation: only then may disjoint source
+    sweeps run in parallel into private partials and merge later.  A
+    non-associative update (scatter-assign, float accumulation) must sweep
+    the whole domain in one serial statement to stay bit-identical to the
+    interpreter oracle.
+    """
+
+    buffer: str
+    func: object                        # repro.halide.func.Func (reduction)
+    source_origin: tuple[Scalar, ...]
+    source_extent: tuple[Scalar, ...]
+    associative: bool = False
+    target_index: Optional[Scalar] = None
+    label: str = ""
+    #: Per-backend evaluator handles (see :class:`Store`).
+    cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def _lines(self, indent: int) -> list[str]:
+        pad = "  " * indent
+        target = self.buffer if self.target_index is None \
+            else f"{self.buffer}[{_s(self.target_index)}]"
+        rdom = getattr(self.func, "reduction", None)
+        source = rdom[0].source if rdom else "?"
+        op = "(+)=" if self.associative else "update="
+        tag = f"  # {self.label}" if self.label else ""
+        return [f"{pad}{target} {op} {getattr(self.func, 'name', '?')} over "
+                f"{source}[{_tuple_str(self.source_origin)} + "
+                f"{_tuple_str(self.source_extent)}]{tag}"]
+
+
+@dataclass
+class AccumMerge(Stmt):
+    """Merge one partial-accumulator slab into the output accumulator.
+
+    ``target += source[index]`` with wrapping integer addition — the
+    deterministic serial merge phase of a two-phase parallel reduction.  The
+    executor always runs merges serially in loop order; for the modular
+    integer sums the lowering emits this for, any order is bit-identical
+    anyway, which is what makes the parallel fill phase safe.
+    """
+
+    target: str
+    source: str
+    index: Scalar
+    label: str = ""
+
+    def _lines(self, indent: int) -> list[str]:
+        pad = "  " * indent
+        tag = f"  # {self.label}" if self.label else ""
+        return [f"{pad}{self.target} += {self.source}[{_s(self.index)}]{tag}"]
 
 
 @dataclass

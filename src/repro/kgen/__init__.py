@@ -14,11 +14,15 @@ from .pointwise import PointwiseSpec, emit_pointwise, reference_pointwise
 from .stencil2d import Conv2DSpec, emit_conv2d, reference_conv2d
 from .stencil3d import Smooth3DSpec, emit_smooth3d, reference_smooth3d
 from .tables import (
+    ColSumSpec,
     HistogramSpec,
     ThresholdSpec,
     build_brightness_lut,
+    emit_colsum,
     emit_histogram,
     emit_threshold,
+    equalization_mapping,
+    reference_colsum,
     reference_histogram,
     reference_threshold,
 )
@@ -30,6 +34,8 @@ __all__ = [
     "PointwiseSpec", "emit_pointwise", "reference_pointwise",
     "Conv2DSpec", "emit_conv2d", "reference_conv2d",
     "Smooth3DSpec", "emit_smooth3d", "reference_smooth3d",
-    "HistogramSpec", "ThresholdSpec", "build_brightness_lut",
-    "emit_histogram", "emit_threshold", "reference_histogram", "reference_threshold",
+    "ColSumSpec", "HistogramSpec", "ThresholdSpec", "build_brightness_lut",
+    "emit_colsum", "emit_histogram", "emit_threshold",
+    "equalization_mapping", "reference_colsum", "reference_histogram",
+    "reference_threshold",
 ]

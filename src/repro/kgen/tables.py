@@ -1,4 +1,5 @@
-"""Legacy code generators for table-driven kernels: threshold and histogram.
+"""Legacy code generators for table-driven kernels: threshold, histogram
+and column-sum.
 
 * ``threshold`` reads the three colour planes, computes a weighted luminance,
   and writes pure black or white depending on an input-dependent comparison
@@ -6,6 +7,10 @@
   paper (section 4.6).
 * ``histogram`` zeroes a 256-entry table and then increments the bin selected
   by each input byte — the canonical indirect/recursive kernel (Figure 4).
+* ``colsum`` zeroes a width-entry table and accumulates each column's byte
+  sum — a coordinate-indexed reduction (the first pass of an integral
+  image), recursive like the histogram but with an affine accumulator index
+  instead of a data-dependent one.
 """
 
 from __future__ import annotations
@@ -172,6 +177,82 @@ def reference_histogram(spec: HistogramSpec, plane: np.ndarray) -> np.ndarray:
     """NumPy reference: bin counts of a byte image."""
     return np.bincount(np.asarray(plane, dtype=np.uint8).ravel(),
                        minlength=spec.bins).astype(np.uint32)
+
+
+def equalization_mapping(counts: np.ndarray) -> np.ndarray:
+    """The byte remap table histogram equalization builds from bin counts.
+
+    Shared by every app that applies equalization outside its traced
+    histogram kernel, so the (deliberately bit-faithful) cdf arithmetic
+    lives in exactly one place.
+    """
+    cdf = np.cumsum(counts)
+    total = max(int(cdf[-1]), 1)
+    return ((cdf * 255) // total).astype(np.uint8)
+
+
+@dataclass
+class ColSumSpec:
+    """Specification of the column-sum kernel."""
+
+    name: str
+
+
+def emit_colsum(spec: ColSumSpec) -> str:
+    """Column-sum kernel (the vertical pass of an integral image).
+
+    Signature (cdecl)::
+
+        colsum(src, table, width, height, src_stride)
+
+    ``table`` is a table of ``width`` 32-bit accumulators.  The kernel first
+    zeroes the table, then adds every pixel's byte value to its column's
+    accumulator — a read-modify-write whose table index is the column
+    coordinate (affine), unlike the histogram's data-dependent bin.
+    """
+    asm = AsmBuilder(spec.name)
+    emit_prologue(asm)
+    a = [arg_offset(i) for i in range(5)]
+    asm.emit(f"mov eax, dword ptr [ebp+{a[0]:#x}]")    # src cursor
+    asm.emit(f"mov ebx, dword ptr [ebp+{a[1]:#x}]")    # table base
+
+    zero_loop = asm.label("zero_loop")
+    row_loop = asm.label("row_loop")
+    pixel_loop = asm.label("pixel_loop")
+
+    asm.emit(f"mov ecx, dword ptr [ebp+{a[2]:#x}]")
+    asm.emit("mov edx, ebx")
+    asm.place(zero_loop)
+    asm.emit("mov dword ptr [edx], 0")
+    asm.emit("add edx, 4")
+    asm.emit("dec ecx")
+    asm.emit(f"jnz {zero_loop}")
+
+    asm.emit(f"mov edx, dword ptr [ebp+{a[3]:#x}]")
+    asm.emit("mov dword ptr [ebp-0x8], edx")           # rows remaining
+    asm.place(row_loop)
+    asm.emit("mov edx, ebx")                           # column cursor
+    asm.emit(f"mov ecx, dword ptr [ebp+{a[2]:#x}]")
+    asm.emit("mov dword ptr [ebp-0xc], ecx")           # pixels remaining
+    asm.place(pixel_loop)
+    asm.emit("movzx ecx, byte ptr [eax]")
+    asm.emit("add dword ptr [edx], ecx")
+    asm.emit("inc eax")
+    asm.emit("add edx, 4")
+    asm.emit("dec dword ptr [ebp-0xc]")
+    asm.emit(f"jnz {pixel_loop}")
+    asm.emit(f"mov ecx, dword ptr [ebp+{a[4]:#x}]")
+    asm.emit(f"sub ecx, dword ptr [ebp+{a[2]:#x}]")
+    asm.emit("add eax, ecx")
+    asm.emit("dec dword ptr [ebp-0x8]")
+    asm.emit(f"jnz {row_loop}")
+    emit_epilogue(asm)
+    return asm.text()
+
+
+def reference_colsum(spec: ColSumSpec, plane: np.ndarray) -> np.ndarray:
+    """NumPy reference: per-column byte sums of an image."""
+    return np.asarray(plane, dtype=np.uint64).sum(axis=0).astype(np.uint32)
 
 
 def build_brightness_lut(delta: int) -> np.ndarray:

@@ -70,6 +70,51 @@ PS_PADDED_FILTERS = ("blur", "blur_more", "sharpen", "sharpen_more",
 IV_PADDED_FILTERS = ("blur", "sharpen")
 
 
+def reduction_output_shape(result: LiftResult, kernel,
+                           source_shape: tuple[int, ...]) -> tuple[int, ...]:
+    """Output extents (innermost-first) of a lifted reduction kernel.
+
+    A reduction kernel realizes over its *accumulator* domain, not the
+    frame: a histogram's bins, a column-sum's per-column slots.  Per output
+    dimension, a **data-dependent** index (one that reads buffer values,
+    e.g. ``hist(input(r_0, r_1))``) keeps the traced table extent — the bin
+    count is a property of the data width, not the frame size — while a
+    **coordinate** index (affine in the reduction variables, e.g.
+    ``colsum(r_0)``) scales with the full-size frame: its extent is the
+    index's maximum over the RDom corner points, plus one.
+    ``source_shape`` is the full-size RDom source in NumPy (outermost-first)
+    order.
+    """
+    from ..ir import BufferAccess, evaluate
+
+    func = result.funcs[kernel.output]
+    rdom, index_exprs, _update = func.reduction
+    spec = result.buffer_specs.get(kernel.output)
+    dims = rdom.dimensions
+    # r_d is innermost-first; source_shape is outermost-first.
+    extents = [int(source_shape[dims - 1 - d]) for d in range(dims)]
+    corners = [{f"r_{d}": choice[d] for d in range(dims)}
+               for choice in _corner_points(extents)]
+    shape = []
+    for position, expr in enumerate(index_exprs):
+        if any(isinstance(node, BufferAccess) for node in expr.walk()):
+            if spec is None or position >= spec.dimensionality:
+                raise ValueError(
+                    f"no output spec to size dimension {position} of "
+                    f"reduction kernel {kernel.output}")
+            shape.append(int(spec.extents[position]))
+            continue
+        shape.append(max(int(evaluate(expr, env)) for env in corners) + 1)
+    return tuple(shape)
+
+
+def _corner_points(extents: list[int]) -> list[tuple[int, ...]]:
+    points = [()]
+    for extent in extents:
+        points = [p + (v,) for p in points for v in (0, max(extent - 1, 0))]
+    return points
+
+
 def photoshop_kernel_request(result: LiftResult, filter_name: str,
                              kernel, channel: str,
                              planes: dict[str, np.ndarray]) -> dict:
@@ -99,6 +144,12 @@ def photoshop_kernel_request(result: LiftResult, filter_name: str,
             # buffer order, which follows the r/g/b allocation order.
             source_channel = channel_order[image_inputs.index(name)]
         buffers[name] = _pad_plane(planes[source_channel], pad)
+    func = result.funcs.get(kernel.output)
+    if func is not None and func.reduction is not None:
+        # Reduction kernels realize over their accumulator domain (bins /
+        # per-column slots), never the frame shape.
+        shape = reduction_output_shape(result, kernel, planes[channel].shape)
+        return {"shape": shape, "buffers": buffers}
     return {"shape": (width, height), "buffers": buffers}
 
 
@@ -138,6 +189,10 @@ def irfanview_kernel_request(result: LiftResult, filter_name: str,
     # The lifted kernels index interleaved images as (channel, x, y), which is
     # an outermost-first (y, x, channel) NumPy array.
     buffers = {name: padded for name in kernel.input_names}
+    func = result.funcs.get(kernel.output)
+    if func is not None and func.reduction is not None:
+        shape = reduction_output_shape(result, kernel, padded.shape)
+        return {"shape": shape, "buffers": buffers}
     return {"shape": (channels, width, height), "buffers": buffers}
 
 

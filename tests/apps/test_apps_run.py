@@ -50,6 +50,15 @@ class TestPhotoshopFilters:
         side = run.layout.extras["side_r"].read_interior(run.memory)
         np.testing.assert_array_equal(side, expected["r"])
 
+    def test_column_sum_table_matches(self, photoshop):
+        run = photoshop.run("column_sum")
+        table_addr, _ = run.memory.allocations["ps_colsum_table"]
+        sums = np.frombuffer(
+            run.memory.read_bytes(table_addr, photoshop.width * 4),
+            dtype="<u4")
+        np.testing.assert_array_equal(
+            sums, photoshop.reference_output("column_sum")["colsum"])
+
 
 class TestIrfanViewFilters:
     @pytest.mark.parametrize("filter_name", ["invert", "solarize", "blur", "sharpen"])
@@ -58,6 +67,22 @@ class TestIrfanViewFilters:
         expected = irfanview.reference_output(filter_name)
         np.testing.assert_array_equal(run.outputs["rgb"], expected,
                                       err_msg=filter_name)
+
+    def test_equalize_histogram_and_visible_output_match(self, irfanview):
+        from repro.apps.images import interleave
+        from repro.kgen import equalization_mapping
+
+        run = irfanview.run("equalize")
+        hist_addr, _ = run.memory.allocations["iv_hist"]
+        counts = np.frombuffer(run.memory.read_bytes(hist_addr, 256 * 4),
+                               dtype="<u4")
+        np.testing.assert_array_equal(counts,
+                                      irfanview.reference_output("equalize"))
+        # The visible output is the equalized image (applied outside the
+        # traced kernel, like Photoshop's).
+        data = interleave(irfanview.planes)
+        expected = equalization_mapping(counts)[data]
+        np.testing.assert_array_equal(run.outputs["rgb"], expected)
 
 
 class TestMiniGMG:

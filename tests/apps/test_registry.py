@@ -21,9 +21,17 @@ class TestRegistryContents:
     def test_tag_filtering(self):
         fully = scenarios(tag="fully-lifted")
         partially = scenarios(tag="partially-lifted")
-        assert {s.filter_name for s in partially} == \
-            {"sharpen_edges", "despeckle", "equalize", "brightness"}
+        assert {s.key for s in partially} == \
+            {("photoshop", "sharpen_edges"), ("photoshop", "despeckle"),
+             ("photoshop", "equalize"), ("photoshop", "brightness"),
+             ("photoshop", "column_sum"), ("irfanview", "equalize")}
         assert not {s.key for s in fully} & {s.key for s in partially}
+
+    def test_reduction_tag_selects_rdom_scenarios(self):
+        reductions = scenarios(tag="reduction")
+        assert {s.key for s in reductions} == \
+            {("photoshop", "equalize"), ("photoshop", "column_sum"),
+             ("irfanview", "equalize")}
 
     def test_unknown_scenario_raises_with_catalog(self):
         with pytest.raises(UnknownScenarioError, match="photoshop/blur"):

@@ -219,8 +219,9 @@ class TestLiftedKernelsDifferential:
     """Every lifted app filter realizes identically through both engines."""
 
     PS_FILTERS = ["invert", "blur", "blur_more", "sharpen", "sharpen_more",
-                  "threshold", "box_blur", "brightness"]
-    IV_FILTERS = ["invert", "solarize", "blur", "sharpen"]
+                  "threshold", "box_blur", "brightness", "equalize",
+                  "column_sum"]
+    IV_FILTERS = ["invert", "solarize", "blur", "sharpen", "equalize"]
 
     @pytest.mark.parametrize("filter_name", PS_FILTERS)
     def test_photoshop_filters(self, filter_name):

@@ -137,6 +137,35 @@ class TestComputeLevels:
                 scheduled.realize(image, engine=engine), oracle)
 
 
+def _hist_pipeline(image, rdom_source="p_buf", pad=0):
+    """A two-stage pipeline ending in a rank-preserving histogram reduction.
+
+    Bins pixel values modulo the frame dimensions so the output keeps the
+    frame's rank/shape (what lifted in-pipeline reductions look like);
+    returns (pipeline, legacy interpreter oracle).
+    """
+    from repro.ir import Var as IRVar
+
+    hist_source = _stencil("p", "input_1", [(0, 0)])
+    x, y = Var("x_0"), Var("x_1")
+    hist = Func("hist", [x, y], dtype=UINT32).define(Const(0, UINT32))
+    rdom = RDom("r_0", source=rdom_source, dimensions=2)
+    value = BufferAccess(rdom_source, [IRVar("r_0"), IRVar("r_1")], UINT8)
+    indices = [BinOp(Op.MOD, value, Const(WIDTH, UINT32), UINT32),
+               BinOp(Op.MOD, value, Const(HEIGHT, UINT32), UINT32)]
+    hist.update(rdom, indices,
+                BinOp(Op.ADD, BufferAccess("hist", indices, UINT32),
+                      Const(1, UINT32)))
+    pipeline = FuncPipeline()
+    pipeline.add(hist_source, input_name="input_1", name="p")
+    pipeline.add(hist, input_name="p_buf", pad=pad, name="hist")
+    # A mismatched RDom source has no legacy realization either (the stage
+    # binds only its own input); those callers only exercise the lowering.
+    oracle = pipeline.realize(image, engine="interp") \
+        if rdom_source == "p_buf" else None
+    return pipeline, oracle
+
+
 def _rebuild_three(s0, s1, s2):
     pipeline = FuncPipeline()
     for func, inp in ((s0, "input_1"), (s1, "b0"), (s2, "b1")):
@@ -261,31 +290,47 @@ class TestDemotions:
         assert lowered.decisions[1].level == "output"
         assert "no consumer" in lowered.decisions[1].demoted_reason
 
-    def test_reduction_stage_falls_back_to_legacy(self, image):
-        from repro.ir import Var as IRVar
+    def test_reduction_stage_lowers_first_class(self, image):
+        """Reduction stages are lowered stages now: an init Store plus a
+        ReduceLoop sweep, bit-identical to the legacy path on both backends."""
+        from repro.ir import ReduceLoop
 
-        hist_source = _stencil("p", "input_1", [(0, 0)])
-        x, y = Var("x_0"), Var("x_1")
-        # A rank-preserving histogram: bin pixel values modulo the frame
-        # dimensions, so the legacy stage-by-stage path can realize it.
-        hist = Func("hist", [x, y], dtype=UINT32).define(Const(0, UINT32))
-        rdom = RDom("r_0", source="p_buf", dimensions=2)
-        value = BufferAccess("p_buf", [IRVar("r_0"), IRVar("r_1")], UINT8)
-        indices = [BinOp(Op.MOD, value, Const(WIDTH, UINT32), UINT32),
-                   BinOp(Op.MOD, value, Const(HEIGHT, UINT32), UINT32)]
-        hist.update(rdom, indices,
-                    BinOp(Op.ADD, BufferAccess("hist", indices, UINT32),
-                          Const(1, UINT32)))
-        pipeline = FuncPipeline()
-        pipeline.add(hist_source, input_name="input_1", name="p")
-        pipeline.add(hist, input_name="p_buf", name="hist")
-        oracle = pipeline.realize(image, engine="interp")
-        with pytest.raises(PipelineLoweringError):
+        pipeline, oracle = _hist_pipeline(image)
+        pipeline.stages[0].func.compute_root()
+        lowered = lower_pipeline(pipeline, image.shape)
+        assert lowered.decisions[1].reduction is not None
+        assert any(isinstance(node, ReduceLoop)
+                   for node in lowered.stmt.walk())
+        for engine in backend_names():
+            out = pipeline.realize(image, engine=engine)
+            np.testing.assert_array_equal(out, oracle)
+
+    def test_unlowerable_reduction_falls_back_to_legacy(self, image):
+        """A reduction stage that pads its input sweeps a padded RDom domain
+        the loop-nest IR cannot express; realize() falls back to the legacy
+        path instead of failing.  (An RDom over a buffer that is not the
+        stage's input is rejected the same way.)"""
+        pipeline, oracle = _hist_pipeline(image, pad=1)
+        pipeline.stages[0].func.compute_root()
+        with pytest.raises(PipelineLoweringError, match="padded"):
             lower_pipeline(pipeline, image.shape)
-        hist_source.compute_root()
-        # realize() falls back to the legacy path instead of failing.
         out = pipeline.realize(image, engine="compiled")
         np.testing.assert_array_equal(out, oracle)
+
+        mismatched, _ = _hist_pipeline(image, rdom_source="input_1")
+        mismatched.stages[0].func.compute_root()
+        with pytest.raises(PipelineLoweringError, match="RDom ranges over"):
+            lower_pipeline(mismatched, image.shape)
+
+    def test_compute_at_into_reduction_consumer_demotes(self, image):
+        pipeline, oracle = _hist_pipeline(image)
+        pipeline.stages[0].func.compute_at("hist", "x_1")
+        lowered = lower_pipeline(pipeline, image.shape)
+        assert lowered.decisions[0].level == "root"
+        assert "reduction stage" in lowered.decisions[0].demoted_reason
+        for engine in backend_names():
+            np.testing.assert_array_equal(
+                pipeline.realize(image, engine=engine), oracle)
 
 
 class TestParallelLoweredLoops:

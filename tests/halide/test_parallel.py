@@ -184,7 +184,9 @@ class TestExecutionModeReporting:
         assert func.execution_mode() == "serial"
         configure_pool()
 
-    def test_reduction_cannot_parallelize(self):
+    def test_associative_reduction_can_parallelize(self, multicore):
+        """Associative accumulations fan RDom strips into private partial
+        accumulators; only non-associative updates stay pinned serial."""
         x = Var("x_0")
         func = Func("hist", [x], dtype=UINT32).define(Const(0, UINT32))
         rdom = RDom("r_0", source="input_1", dimensions=2)
@@ -193,7 +195,20 @@ class TestExecutionModeReporting:
                        Const(1, UINT32))
         func.update(rdom, [index], update)
         func.schedule = Schedule(tile_x=8, tile_y=8, parallel=True)
-        assert "reduction" in func.parallel_unsupported_reason()
+        assert func.reduction_is_associative()
+        assert func.parallel_unsupported_reason() is None
+        assert func.execution_mode() == "parallel"
+
+    def test_scatter_assign_reduction_cannot_parallelize(self):
+        x = Var("x_0")
+        func = Func("tab", [x], dtype=UINT32).define(Const(0, UINT32))
+        rdom = RDom("r_0", source="input_1", dimensions=2)
+        index = BufferAccess("input_1", [Var("r_0"), Var("r_1")], UINT8)
+        # Scatter-assign (no self-accumulation): last write wins, serial only.
+        func.update(rdom, [index], Const(7, UINT32))
+        func.schedule = Schedule(tile_x=8, tile_y=8, parallel=True)
+        assert not func.reduction_is_associative()
+        assert "associative" in func.parallel_unsupported_reason()
         assert func.execution_mode() == "serial"
 
     def test_untiled_parallel_warns_once(self, multicore):

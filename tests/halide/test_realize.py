@@ -84,6 +84,58 @@ class TestRealizeReduction:
         np.testing.assert_array_equal(out, np.bincount(image.ravel(), minlength=16))
 
 
+class TestZeroDivisorSemantics:
+    """Both engines share one divide-by-zero semantics: RealizationError
+    (x86 ``idiv`` raises ``#DE``), never a NumPy warning plus garbage."""
+
+    @staticmethod
+    def _div_func(op):
+        x, y = x_y()
+        expr = Cast(UINT8, BinOp(op, Cast(UINT32,
+                                          BufferAccess("input_1", [x, y],
+                                                       UINT8)),
+                                 Param("d", 2, INT32), UINT32))
+        return Func("f", [x, y], dtype=UINT8).define(expr)
+
+    @pytest.mark.parametrize("op", [Op.DIV, Op.MOD])
+    def test_zero_divisor_raises_identically_in_both_engines(self, op):
+        from repro.halide.realize import RealizationError
+
+        image = np.arange(12, dtype=np.uint8).reshape(3, 4)
+        func = self._div_func(op)
+        for engine in ("interp", "compiled"):
+            with pytest.raises(RealizationError, match="division by zero"):
+                realize(func, (4, 3), {"input_1": image}, {"d": 0},
+                        engine=engine)
+
+    @pytest.mark.parametrize("op", [Op.DIV, Op.MOD])
+    def test_nonzero_divisor_still_agrees(self, op):
+        image = np.arange(12, dtype=np.uint8).reshape(3, 4)
+        func = self._div_func(op)
+        results = [realize(func, (4, 3), {"input_1": image}, {"d": 3},
+                           engine=engine) for engine in ("interp", "compiled")]
+        np.testing.assert_array_equal(results[0], results[1])
+
+    def test_constant_fold_declines_zero_divisor(self):
+        """canonicalize must not crash on (or mis-fold) ``c / 0``; the node
+        survives so realization raises the shared semantics."""
+        from repro.ir import canonicalize
+
+        expr = BinOp(Op.DIV, Const(3, UINT32), Const(0, UINT32), UINT32)
+        folded = canonicalize(expr)
+        assert isinstance(folded, BinOp) and folded.op == Op.DIV
+        expr = BinOp(Op.MOD, Const(3, UINT32), Const(0, UINT32), UINT32)
+        assert isinstance(canonicalize(expr), BinOp)
+
+    def test_interval_analysis_never_narrows_through_zero_divisor(self):
+        from repro.halide.compile import _interval_binop
+
+        assert _interval_binop(Op.DIV, (0, 10), (0, 4)) is None
+        assert _interval_binop(Op.DIV, (0, 10), (-2, 2)) is None
+        assert _interval_binop(Op.MOD, (0, 10), (0, 0)) is None
+        assert _interval_binop(Op.DIV, (0, 10), (1, 4)) is not None
+
+
 class TestScheduleObjects:
     def test_schedule_describe(self):
         func = Func("f", [Var("x_0")], dtype=UINT8).define(Const(0, UINT8))

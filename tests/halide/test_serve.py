@@ -144,6 +144,66 @@ class TestPipelineServer:
             np.testing.assert_array_equal(output, expected)
         assert stats["completed"] == 4
 
+    def test_close_race_blocked_submit_raises(self):
+        """Regression: a submit already blocked on the pending-slot
+        semaphore must not slip past a concurrent close() — once its slot
+        frees it re-checks the closed flag and raises."""
+        import time
+
+        server = PipelineServer(invert_func(), max_pending=1)
+        gate = threading.Event()
+        started = threading.Event()
+
+        def slow_task():
+            started.set()
+            assert gate.wait(10)
+            return np.zeros((2, 2), dtype=np.uint8)
+
+        server._make_task = lambda **kw: slow_task
+        first = server.submit(shape=(2, 2), buffers={})
+        assert started.wait(10)
+
+        outcome = {}
+
+        def blocked_submit():
+            try:
+                server.submit(shape=(2, 2), buffers={})
+                outcome["result"] = "admitted"
+            except RuntimeError:
+                outcome["result"] = "raised"
+
+        racer = threading.Thread(target=blocked_submit)
+        racer.start()
+        time.sleep(0.2)          # let the racer block on the slot semaphore
+        assert racer.is_alive()  # still waiting for the slot
+        server.close()
+        gate.set()               # first request finishes, slot frees
+        racer.join(10)
+        assert outcome["result"] == "raised"
+        first.result(timeout=10)
+        stats = server.stats()
+        assert stats["submitted"] == 1 and stats["completed"] == 1
+
+    def test_close_wait_drains_inflight_requests(self):
+        server = PipelineServer(invert_func(), max_pending=2)
+        gate = threading.Event()
+
+        def slow_task():
+            assert gate.wait(10)
+            return np.zeros((2, 2), dtype=np.uint8)
+
+        server._make_task = lambda **kw: slow_task
+        futures = [server.submit(shape=(2, 2), buffers={}) for _ in range(2)]
+        releaser = threading.Timer(0.1, gate.set)
+        releaser.start()
+        try:
+            server.close(wait=True)
+        finally:
+            releaser.cancel()
+        # close(wait=True) returned: every request has fully finished.
+        assert all(future.done() for future in futures)
+        assert server.stats()["completed"] == 2
+
     def test_warm_compile_pays_codegen_up_front(self):
         clear_kernel_cache()
         func = blur_func()

@@ -32,8 +32,8 @@ def irfanview():
 
 PHOTOSHOP_FILTERS = ["invert", "blur", "blur_more", "sharpen", "sharpen_more",
                      "threshold", "box_blur", "brightness", "equalize",
-                     "sharpen_edges", "despeckle"]
-IRFANVIEW_FILTERS = ["invert", "solarize", "blur", "sharpen"]
+                     "sharpen_edges", "despeckle", "column_sum"]
+IRFANVIEW_FILTERS = ["invert", "solarize", "blur", "sharpen", "equalize"]
 
 
 class TestPhotoshopLifting:
@@ -65,6 +65,22 @@ class TestPhotoshopLifting:
     def test_equalize_lifts_a_reduction(self, photoshop):
         result = lift_filter(photoshop, "equalize")
         assert any(c.is_reduction for k in result.kernels for c in k.clusters)
+        source = next(iter(result.halide_sources.values()))
+        assert "RDom" in source
+
+    def test_column_sum_lifts_a_coordinate_reduction(self, photoshop):
+        """The colsum accumulator is indexed by a coordinate (affine in the
+        reduction variables), not a data value — the update must still lift
+        as an RDom reduction over the source image."""
+        from repro.ir import Var as IRVar
+
+        result = lift_filter(photoshop, "column_sum")
+        reductions = [c for k in result.kernels for c in k.clusters
+                      if c.is_reduction]
+        assert reductions and reductions[0].reduction_source
+        index = reductions[0].root_index_expr
+        assert any(isinstance(n, IRVar) and n.name.startswith("r_")
+                   for n in index.walk())
         source = next(iter(result.halide_sources.values()))
         assert "RDom" in source
 
