@@ -1,0 +1,129 @@
+"""Resilience overhead: the fault-injection harness must cost ~nothing off.
+
+Three serving configurations over the same batch of frames through one
+:class:`PipelineServer`:
+
+* **clean** — no fault plan installed; every instrumented site is a single
+  ``None`` check.  This is the production path, and the gate: it must stay
+  within 3% of itself across the guarded wiring (measured against the same
+  batch with deadline/retry policies engaged but no faults firing).
+* **guarded** — deadlines + retry policy supplied, still no faults: the cost
+  of policy bookkeeping on the happy path.
+* **faulted** — a deterministic chaos schedule firing across the batch: what
+  degraded service costs when the injected failures actually happen (recorded
+  for the trajectory, not gated — it measures the *faults*, not the harness).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.halide import Func, PipelineServer, Schedule, Var, configure_pool
+from repro.ir import BinOp, BufferAccess, Cast, Const, Op, UINT8, UINT32
+from repro.reliability import BatchError, FaultPlan, inject
+
+from conftest import (
+    LARGE_HEIGHT,
+    LARGE_WIDTH,
+    print_table,
+    record_bench,
+    time_callable,
+)
+
+FRAMES = 6
+#: Frames are double the large bench size: the reliability layer's cost is
+#: fixed per request (~tens of µs), so the gate needs enough per-request
+#: work that single-core scheduler jitter cannot masquerade as overhead.
+GATE_WIDTH, GATE_HEIGHT = 2 * LARGE_WIDTH, 2 * LARGE_HEIGHT
+FAULT_SPEC = ("kernel.execute:p=0.3,n=3;tile.execute:p=0.1,n=4;"
+              "serve.latency:p=0.3,latency=0.002")
+
+#: The gate: guarded (policies on, faults off) vs clean serving overhead.
+MAX_OVERHEAD = 0.03
+#: Millisecond-scale absolute slack: on a single-core CI runner best-of-N
+#: still jitters by scheduler quanta, which 3% of a short batch is below.
+EPSILON_SECONDS = 0.002
+
+
+def blur_func() -> Func:
+    x, y = Var("x_0"), Var("x_1")
+    expr = Cast(UINT8, BinOp(Op.SHR, BinOp(
+        Op.ADD,
+        Cast(UINT32, BufferAccess("input_1", [x, y], UINT8)),
+        Cast(UINT32, BufferAccess("input_1", [BinOp(Op.ADD, x, Const(2)),
+                                              BinOp(Op.ADD, y, Const(2))],
+                                  UINT8)),
+        UINT32), Const(1, UINT32)))
+    func = Func("blur", [x, y], dtype=UINT8).define(expr)
+    func.schedule = Schedule(tile_x=128, tile_y=64, parallel=True)
+    return func
+
+
+@pytest.fixture(scope="module")
+def resilience_frames() -> list[np.ndarray]:
+    rng = np.random.default_rng(11)
+    return [rng.integers(0, 256, size=(GATE_HEIGHT + 2, GATE_WIDTH + 2),
+                         dtype=np.uint8) for _ in range(FRAMES)]
+
+
+def _serve_batch(server, frames, **kwargs) -> None:
+    requests = [{"shape": (GATE_WIDTH, GATE_HEIGHT),
+                 "buffers": {"input_1": frame}} for frame in frames]
+    try:
+        server.realize_batch(requests, **kwargs)
+    except BatchError:
+        pass          # faulted mode may exhaust a request's budget: recorded
+
+
+def test_fig9_resilience_overhead(resilience_frames):
+    configure_pool()
+    func = blur_func()
+    with PipelineServer(func) as server:
+        # Interleave the two gated measurements round-robin: an external
+        # load spike then lands on both modes instead of inflating
+        # whichever happened to be timed second, and best-of-N still
+        # discards it entirely when it was one-sided.
+        clean = guarded = float("inf")
+        for _ in range(7):
+            clean = min(clean, time_callable(
+                lambda: _serve_batch(server, resilience_frames), repeats=1))
+            guarded = min(guarded, time_callable(
+                lambda: _serve_batch(server, resilience_frames,
+                                     deadline=60.0, retries=2), repeats=1))
+
+        def faulted_batch():
+            with inject(FaultPlan.parse(FAULT_SPEC, seed=5)):
+                _serve_batch(server, resilience_frames,
+                             deadline=60.0, retries=2)
+
+        faulted = time_callable(faulted_batch, repeats=3)
+        stats = server.stats()
+
+    print_table(
+        "Figure 9 companion: resilience harness overhead "
+        f"({FRAMES} frames, {GATE_WIDTH}x{GATE_HEIGHT})",
+        ["mode", "batch ms", "vs clean"],
+        [["clean (faults off)", f"{clean * 1000:.2f}", "1.00x"],
+         ["guarded (deadline+retries)", f"{guarded * 1000:.2f}",
+          f"{guarded / clean:.3f}x" if clean else "n/a"],
+         ["faulted (chaos schedule)", f"{faulted * 1000:.2f}",
+          f"{faulted / clean:.3f}x" if clean else "n/a"]])
+    size = (GATE_WIDTH, GATE_HEIGHT)
+    record_bench("fig9_resilience/clean", clean, engine="default",
+                 image_size=size, frames=FRAMES)
+    record_bench("fig9_resilience/guarded", guarded, engine="default",
+                 image_size=size, frames=FRAMES,
+                 overhead_vs_clean=round(guarded / clean - 1.0, 4)
+                 if clean else None)
+    record_bench("fig9_resilience/faulted", faulted, engine="default",
+                 image_size=size, frames=FRAMES,
+                 degraded=stats["degraded"], retries=stats["retries"])
+
+    # The gate: with no faults firing, the whole reliability layer —
+    # instrumented sites, deadline plumbing, retry/breaker bookkeeping —
+    # must be within 3% of the unguarded serving path (plus scheduler
+    # jitter slack on millisecond-scale batches).
+    assert guarded <= clean * (1.0 + MAX_OVERHEAD) + EPSILON_SECONDS, (
+        f"guarded serving {guarded:.4f}s exceeds clean {clean:.4f}s "
+        f"by more than {MAX_OVERHEAD:.0%}")

@@ -221,18 +221,32 @@ def _explain_kernels(result, frame, tile: str | None = None) -> None:
 def cmd_serve(args) -> int:
     from .rejuvenation.serving import serve_lifted
 
+    from .reliability import BatchError
+
     session = _session_from_args(args)
     result = session.run()
     frames = _frames_for(args.app, args.width, args.height, args.frames)
-    batch = serve_lifted(result, frames, engine=args.engine)
-    print(f"served {len(batch.outputs)} frame(s) of {args.app}/{args.filter} "
+    try:
+        batch = serve_lifted(result, frames, engine=args.engine,
+                             deadline=args.timeout, retries=args.retries)
+    except BatchError as error:
+        batch = error.result
+        if batch is None:
+            raise
+        for index, request_error in enumerate(batch.errors):
+            if request_error is not None:
+                print(f"frame {index} failed: "
+                      f"{type(request_error).__name__}: {request_error}")
+    served = (f"{len(batch.outputs) - batch.failed}/{len(batch.outputs)}"
+              if batch.failed else f"{len(batch.outputs)}")
+    print(f"served {served} frame(s) of {args.app}/{args.filter} "
           f"in {batch.wall_seconds:.4f}s "
           f"({batch.frames_per_second:.1f} frames/s)")
     busy = sum(batch.request_seconds)
     print(f"busy {busy:.4f}s across workers, "
           f"mean {busy / max(len(batch.outputs), 1):.4f}s/frame, "
           f"instrumented runs: {session.stats()['instrumented_runs']}")
-    return 0
+    return 1 if batch.failed else 0
 
 
 def cmd_cache(args) -> int:
@@ -242,6 +256,19 @@ def cmd_cache(args) -> int:
     if args.action == "clear":
         removed = store.clear()
         print(f"removed {removed} artifact(s) from {store.root}")
+        return 0
+    if args.action == "quarantine":
+        if args.clear:
+            removed = store.clear_quarantine()
+            print(f"removed {removed} quarantined file(s) from "
+                  f"{store.quarantine_root}")
+            return 0
+        records = store.quarantine_entries()
+        print(f"quarantine: {store.quarantine_root} "
+              f"({len(records)} file(s), "
+              f"{store.stats()['quarantined']} quarantined this session)")
+        _print_table(["name", "bytes"],
+                     [(r["name"], r["size_bytes"]) for r in records])
         return 0
     if args.action == "prune":
         from .core.stages import STAGE_VERSIONS, STAGES
@@ -324,13 +351,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--width", type=int, default=640)
     serve.add_argument("--height", type=int, default=480)
     serve.add_argument("--engine", default=None, choices=("compiled", "interp"))
+    serve.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                       help="per-frame deadline; late frames resolve with "
+                            "DeadlineExceeded instead of blocking the batch")
+    serve.add_argument("--retries", type=int, default=None,
+                       help="retry budget for transient per-frame failures "
+                            "(default: no retries)")
     serve.set_defaults(fn=cmd_serve)
 
     cache = commands.add_parser(
         "cache", help="inspect, prune or clear the artifact store")
     cache.add_argument("action", nargs="?", default="stats",
-                       choices=("stats", "list", "clear", "prune"))
+                       choices=("stats", "list", "clear", "prune", "quarantine"))
     cache.add_argument("--store", default=None)
+    cache.add_argument("--clear", action="store_true",
+                       help="with `quarantine`: delete the quarantined blobs")
     cache.set_defaults(fn=cmd_cache)
     return parser
 

@@ -52,6 +52,7 @@ from ..ir import (
     number_subtrees,
 )  # noqa: F401 (DType used in annotations)
 from ..ir.simplify import _trunc_div
+from ..reliability.faults import fault_point
 from .func import Func
 from .parallel import (
     reset_fallback_warnings,
@@ -822,6 +823,7 @@ class CompiledKernel:
 
     def __call__(self, shape: tuple[int, ...], buffers: Mapping[str, np.ndarray],
                  params: Mapping[str, float]) -> np.ndarray:
+        fault_point("kernel.execute")
         return self.fn(tuple(reversed(shape)), buffers, params)
 
     def evaluate_region(self, origin: tuple[int, ...], extent: tuple[int, ...],
@@ -983,6 +985,7 @@ def compile_func(func: Func) -> CompiledKernel:
 
 
 def _build_kernel(func: Func) -> CompiledKernel:
+    fault_point("compile.kernel")
     rank = len(func.variables)
     if rank == 0:
         raise LoweringError("zero-dimensional function")

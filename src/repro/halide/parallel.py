@@ -27,11 +27,15 @@ private partial accumulators per RDom strip, merged serially.
 from __future__ import annotations
 
 import os
+import sys
 import threading
 import warnings
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
+
+from ..reliability.faults import fault_fires, fault_point
+from ..reliability.policy import TransientExecutionError
 
 #: Thread-name prefix identifying the shared pool's workers; used to detect
 #: (and serialize) nested parallelism instead of deadlocking the pool.
@@ -53,7 +57,8 @@ _stats_lock = threading.Lock()
 #: those realizations executed.  ``serial`` includes heuristic rejections and
 #: nested (in-worker) realizations.
 execution_stats = {"parallel": 0, "serial": 0,
-                   "tiles_parallel": 0, "tiles_serial": 0}
+                   "tiles_parallel": 0, "tiles_serial": 0,
+                   "tile_retries": 0, "pool_revived": 0}
 
 
 class ParallelFallbackWarning(UserWarning):
@@ -127,25 +132,48 @@ def in_worker() -> bool:
     return threading.current_thread().name.startswith(_WORKER_PREFIX)
 
 
+def _revive_pool(dead: ThreadPoolExecutor) -> ThreadPoolExecutor:
+    """The pool watchdog: replace a dead shared executor with a fresh one.
+
+    Called when a submit failed because the *current* pool was shut down
+    under us — an injected ``pool.die`` fault, or an external actor calling
+    ``shutdown`` on the shared executor.  The swap happens under the pool
+    lock and only if the dead pool is still installed, so concurrent
+    revivers (and a racing :func:`configure_pool`) agree on one replacement.
+    """
+    global _pool, _pool_workers
+    with _pool_lock:
+        if _pool is dead:
+            _pool_workers = _pool_workers or default_workers()
+            _pool = ThreadPoolExecutor(max_workers=_pool_workers,
+                                       thread_name_prefix=_WORKER_PREFIX)
+            with _stats_lock:
+                execution_stats["pool_revived"] += 1
+        return _pool
+
+
 def submit_task(fn, *args):
-    """Submit to the shared pool, surviving a concurrent :func:`configure_pool`.
+    """Submit to the shared pool, surviving swaps *and* a dead executor.
 
     ``configure_pool`` swaps the pool and shuts the old one down; a caller
     that fetched the old pool just before the swap would get
     ``RuntimeError: cannot schedule new futures after shutdown`` — retrying
     re-fetches the replacement pool, which is never shut down by the swap.
-    The retry only fires when the pool actually changed, so a submit that can
-    never succeed (interpreter shutdown) raises instead of spinning.
+    If the *current* pool itself is dead (shut down under us rather than
+    swapped), the watchdog :func:`_revive_pool` installs a replacement —
+    bounded to a few attempts so a submit that can never succeed
+    (interpreter shutdown) raises instead of spinning.
     """
     pool = get_pool()
-    while True:
+    for _ in range(4):
         try:
             return pool.submit(fn, *args)
         except RuntimeError:
-            current = get_pool()
-            if current is pool:
+            if sys.is_finalizing():
                 raise
-            pool = current
+            current = get_pool()
+            pool = current if current is not pool else _revive_pool(pool)
+    return pool.submit(fn, *args)
 
 
 def warm_pool() -> None:
@@ -203,6 +231,21 @@ def record_execution(parallel: bool, tiles: int) -> None:
         execution_stats["tiles_parallel" if parallel else "tiles_serial"] += tiles
 
 
+def _maybe_kill_pool() -> None:
+    """``pool.die`` fault site: shut the shared executor down under us.
+
+    Models a worker pool dying mid-service; the next :func:`submit_task`
+    must detect the dead executor and revive it (see :func:`_revive_pool`)
+    rather than failing the realization.
+    """
+    if fault_fires("pool.die") is None:
+        return
+    with _pool_lock:
+        pool = _pool
+    if pool is not None:
+        pool.shutdown(wait=False)
+
+
 def run_tiles(body, out, tiles, buffers, params) -> None:
     """Execute ``body`` over every ``(origin, extent)`` tile into ``out``.
 
@@ -210,21 +253,49 @@ def run_tiles(body, out, tiles, buffers, params) -> None:
     interleaving across threads) produces bit-identical results; the parallel
     path is therefore exactly as trustworthy as the serial loop it replaces.
     Called from generated kernel code in :mod:`repro.halide.compile`.
+
+    A tile whose execution fails transiently (an injected fault, an evicted
+    worker) is re-executed once — serially, on the collecting thread — before
+    the whole realization is allowed to fail; disjointness makes the re-run
+    safe at any point.
     """
+    _maybe_kill_pool()
     if choose_tile_executor(out.shape, len(tiles)):
         futures = [submit_task(_run_one_tile, body, out, origin, extent,
                                buffers, params)
                    for origin, extent in tiles]
-        for future in futures:
-            future.result()
+        failed = []
+        errors = []
+        for future, tile in zip(futures, tiles):
+            try:
+                future.result()
+            except TransientExecutionError as exc:
+                failed.append(tile)
+                errors.append(exc)
+        for (origin, extent), error in zip(failed, errors):
+            _retry_tile(body, out, origin, extent, buffers, params, error)
         record_execution(True, len(tiles))
         return
     for origin, extent in tiles:
-        _run_one_tile(body, out, origin, extent, buffers, params)
+        try:
+            _run_one_tile(body, out, origin, extent, buffers, params)
+        except TransientExecutionError as exc:
+            _retry_tile(body, out, origin, extent, buffers, params, exc)
     record_execution(False, len(tiles))
 
 
+def _retry_tile(body, out, origin, extent, buffers, params, error) -> None:
+    """Serial one-shot re-execution of a transiently failed tile."""
+    with _stats_lock:
+        execution_stats["tile_retries"] += 1
+    try:
+        _run_one_tile(body, out, origin, extent, buffers, params)
+    except TransientExecutionError as exc:
+        raise exc from error
+
+
 def _run_one_tile(body, out, origin, extent, buffers, params) -> None:
+    fault_point("tile.execute")
     region = tuple(slice(o, o + e) for o, e in zip(origin, extent))
     out[region] = body(origin, extent, buffers, params)
 
@@ -252,17 +323,33 @@ def run_reduction_strips(reduce_fn, out, source_shape, strip, buffers,
         record_execution(False, 1)
         return
     rest = tuple(source_shape[1:])
+    _maybe_kill_pool()
     partials = np.zeros((count,) + out.shape, dtype=out.dtype)
 
     def one_strip(index: int) -> None:
+        fault_point("tile.execute")
         lo = index * strip
         extent = (min(strip, axis0 - lo),) + rest
         reduce_fn(partials[index], (lo,) + (0,) * (rank - 1), extent,
                   buffers, params)
 
     futures = [submit_task(one_strip, index) for index in range(count)]
-    for future in futures:
-        future.result()
+    failed: list[tuple[int, Exception]] = []
+    for index, future in enumerate(futures):
+        try:
+            future.result()
+        except TransientExecutionError as exc:
+            failed.append((index, exc))
+    for index, error in failed:
+        # Accumulation is not idempotent, so the retry starts the strip's
+        # *private* partial from zero again before re-sweeping it serially.
+        with _stats_lock:
+            execution_stats["tile_retries"] += 1
+        partials[index] = 0
+        try:
+            one_strip(index)
+        except TransientExecutionError as exc:
+            raise exc from error
     for index in range(count):          # deterministic serial merge
         np.add(out, partials[index], out=out)
     record_execution(True, count)

@@ -60,7 +60,9 @@ def make_serve_requests(result: LiftResult, frames: Sequence[np.ndarray]
 
 def serve_lifted(result: LiftResult, frames: Sequence[np.ndarray], *,
                  max_pending: int | None = None,
-                 engine: str | None = None) -> BatchResult:
+                 engine: str | None = None,
+                 deadline: float | None = None,
+                 retries: int | None = None) -> BatchResult:
     """Serve a batch of frames through one lifted kernel, compile-once.
 
     The end of the lift-and-serve path: ``LiftSession.run()`` (cold or warm)
@@ -70,4 +72,5 @@ def serve_lifted(result: LiftResult, frames: Sequence[np.ndarray], *,
     """
     func, requests = make_serve_requests(result, frames)
     with PipelineServer(func, max_pending=max_pending, engine=engine) as server:
-        return server.realize_batch(requests)
+        return server.realize_batch(requests, deadline=deadline,
+                                    retries=retries)

@@ -1,0 +1,68 @@
+"""Resilience layer: fault injection, retries, deadlines, degradation.
+
+Two halves, one contract:
+
+* :mod:`repro.reliability.policy` — the *defenses*: a typed error taxonomy
+  (:class:`TransientExecutionError`, :class:`DeadlineExceeded`,
+  :class:`BatchError`), :class:`RetryPolicy`, :class:`Deadline`,
+  :class:`CircuitBreaker`, and :class:`DegradedResult`.
+* :mod:`repro.reliability.faults` — the *attacks*: a deterministic,
+  seeded fault-injection registry (:class:`FaultPlan`, the :func:`inject`
+  context manager, the ``REPRO_FAULTS`` environment grammar) that triggers
+  named failure sites across serving, execution, and the artifact store.
+
+The contract the chaos suite enforces: under any fault schedule, every
+request either returns a frame bit-identical to the interpreter oracle or
+raises one of these typed errors within its deadline — never garbage,
+never a hang.  See ``docs/reliability.md``.
+"""
+
+from .faults import (
+    FAULT_SITES,
+    FaultPlan,
+    FaultRule,
+    FaultSpecError,
+    InjectedFault,
+    active_plan,
+    fault_fires,
+    fault_payload,
+    fault_point,
+    inject,
+    install,
+    install_from_env,
+)
+from .policy import (
+    BatchError,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    DegradedResult,
+    ReliabilityError,
+    RetryPolicy,
+    TransientExecutionError,
+    classify_failure,
+)
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultRule",
+    "FaultSpecError",
+    "InjectedFault",
+    "active_plan",
+    "fault_fires",
+    "fault_payload",
+    "fault_point",
+    "inject",
+    "install",
+    "install_from_env",
+    "BatchError",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "DegradedResult",
+    "ReliabilityError",
+    "RetryPolicy",
+    "TransientExecutionError",
+    "classify_failure",
+]

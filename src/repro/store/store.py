@@ -26,11 +26,16 @@ import time
 from pathlib import Path
 from typing import Optional
 
+from ..reliability.faults import fault_payload, fault_point
 from .keys import ArtifactKey
 from .serialize import FORMAT_VERSION, MAGIC, dumps_artifact, loads_artifact
 
 #: Environment variable overriding the default store location.
 STORE_DIR_ENV = "REPRO_STORE_DIR"
+
+#: Subdirectory (under the store root) holding corrupt blobs set aside by
+#: :meth:`ArtifactStore.get` for post-mortem inspection.
+QUARANTINE_DIR = "quarantine"
 
 
 def default_store_root() -> Path:
@@ -54,7 +59,8 @@ class ArtifactStore:
         self.root = Path(root) if root is not None else default_store_root()
         self._lock = threading.Lock()
         self._stats = {"hits": 0, "misses": 0, "puts": 0,
-                       "bytes_read": 0, "bytes_written": 0}
+                       "bytes_read": 0, "bytes_written": 0,
+                       "quarantined": 0}
 
     # -- paths ---------------------------------------------------------------
 
@@ -63,6 +69,10 @@ class ArtifactStore:
 
     def manifest_path(self, key: ArtifactKey) -> Path:
         return self.root / key.stage / f"{key.digest}.json"
+
+    @property
+    def quarantine_root(self) -> Path:
+        return self.root / QUARANTINE_DIR
 
     # -- core API ------------------------------------------------------------
 
@@ -82,21 +92,18 @@ class ArtifactStore:
             artifact = loads_artifact(data)
         except Exception:
             # Unreadable blobs are misses.  A *corrupt* blob (bad magic, or
-            # unpicklable payload) is deleted together with its manifest so
-            # the rewrite repairs the store; a well-formed blob of a
-            # different format version is left alone — it may belong to a
-            # newer build sharing this store, and destroying its valid
-            # artifacts is not this build's call.
+            # unpicklable payload) is moved — together with its manifest —
+            # into ``<root>/quarantine/`` so the rewrite repairs the store
+            # while the evidence survives for post-mortem; a well-formed
+            # blob of a different format version is left alone — it may
+            # belong to a newer build sharing this store, and destroying
+            # its valid artifacts is not this build's call.
             version_mismatch = data.startswith(MAGIC) and \
                 len(data) >= len(MAGIC) + 2 and \
                 int.from_bytes(data[len(MAGIC):len(MAGIC) + 2],
                                "little") != FORMAT_VERSION
             if not version_mismatch:
-                for stale in (path, self.manifest_path(key)):
-                    try:
-                        stale.unlink()
-                    except OSError:
-                        pass
+                self._quarantine(key, path)
             with self._lock:
                 self._stats["misses"] += 1
             return None
@@ -105,12 +112,44 @@ class ArtifactStore:
             self._stats["bytes_read"] += len(data)
         return artifact
 
+    def _quarantine(self, key: ArtifactKey, path: Path) -> None:
+        """Move a corrupt blob (and its manifest) aside instead of deleting.
+
+        Quarantined files are renamed ``<stage>__<digest>[.N].pkl/.json`` so
+        blobs from different stages never collide, and repeat corruption of
+        the same key keeps every specimen.
+        """
+        self.quarantine_root.mkdir(parents=True, exist_ok=True)
+        moved = False
+        for source in (path, self.manifest_path(key)):
+            if not source.exists():
+                continue
+            base = f"{key.stage}__{source.name}"
+            target = self.quarantine_root / base
+            attempt = 0
+            while target.exists():
+                attempt += 1
+                target = self.quarantine_root / \
+                    f"{key.stage}__{source.stem}.{attempt}{source.suffix}"
+            try:
+                os.replace(source, target)
+            except OSError:
+                continue
+            if source.suffix == ".pkl":
+                moved = True
+        if moved:
+            with self._lock:
+                self._stats["quarantined"] += 1
+
     def put(self, key: ArtifactKey, artifact: object) -> Path:
         """Serialize and persist one artifact (atomically); returns its path."""
         data = dumps_artifact(artifact)
+        data = fault_payload("store.corrupt_blob", data)
+        data = fault_payload("store.partial_write", data)
         path = self.blob_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         self._atomic_write(path, data)
+        fault_point("store.crash_after_blob")
         manifest = {
             "stage": key.stage,
             "digest": key.digest,
@@ -146,12 +185,17 @@ class ArtifactStore:
         with self._lock:
             return dict(self._stats)
 
+    def _stage_glob(self, pattern: str) -> list[Path]:
+        """Stage-directory files matching ``pattern``, quarantine excluded."""
+        return [path for path in self.root.glob(f"*/{pattern}")
+                if path.parent.name != QUARANTINE_DIR]
+
     def entries(self) -> list[dict]:
         """Every stored artifact's manifest (sorted by stage, then digest)."""
         manifests = []
         if not self.root.exists():
             return manifests
-        for path in sorted(self.root.glob("*/*.json")):
+        for path in sorted(self._stage_glob("*.json")):
             try:
                 manifests.append(json.loads(path.read_text()))
             except (json.JSONDecodeError, OSError):
@@ -161,7 +205,33 @@ class ArtifactStore:
     def size_bytes(self) -> int:
         if not self.root.exists():
             return 0
-        return sum(path.stat().st_size for path in self.root.glob("*/*.pkl"))
+        return sum(path.stat().st_size for path in self._stage_glob("*.pkl"))
+
+    def quarantine_entries(self) -> list[dict]:
+        """One ``{"name", "size_bytes"}`` record per quarantined file."""
+        if not self.quarantine_root.exists():
+            return []
+        records = []
+        for path in sorted(self.quarantine_root.iterdir()):
+            try:
+                records.append({"name": path.name,
+                                "size_bytes": path.stat().st_size})
+            except OSError:
+                continue
+        return records
+
+    def clear_quarantine(self) -> int:
+        """Delete every quarantined file; returns how many were removed."""
+        removed = 0
+        if not self.quarantine_root.exists():
+            return removed
+        for path in list(self.quarantine_root.iterdir()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
 
     #: prune() leaves files younger than this alone: a concurrent put() has
     #: atomically written the blob but maybe not yet its manifest, and the
@@ -191,7 +261,7 @@ class ArtifactStore:
             except OSError:
                 return True            # just disappeared: leave it alone
 
-        for blob in list(self.root.glob("*/*.pkl")):
+        for blob in self._stage_glob("*.pkl"):
             manifest_path = blob.with_suffix(".json")
             manifest = None
             try:
@@ -212,7 +282,7 @@ class ArtifactStore:
                     pass
             removed += 1
         # Orphaned manifests (blob already gone) go too, same grace applied.
-        for manifest_path in list(self.root.glob("*/*.json")):
+        for manifest_path in self._stage_glob("*.json"):
             if not manifest_path.with_suffix(".pkl").exists() \
                     and not is_fresh(manifest_path):
                 try:
@@ -227,6 +297,8 @@ class ArtifactStore:
         if not self.root.exists():
             return removed
         for path in list(self.root.glob("*/*")):
+            if path.parent.name == QUARANTINE_DIR:
+                continue               # quarantine is cleared explicitly
             if path.suffix in (".pkl", ".json"):
                 if path.suffix == ".pkl":
                     removed += 1

@@ -1,0 +1,50 @@
+"""Suite-wide guards: a no-hang watchdog and fault-plan hygiene.
+
+The reliability work's core contract is "typed error or exact result —
+never a hang", so the test suite itself must be hang-proof.  CI installs
+``pytest-timeout`` and passes ``--timeout``; this conftest adds a
+dependency-free fallback (``faulthandler.dump_traceback_later``) so local
+runs without the plugin still abort a stuck test with tracebacks instead
+of wedging forever.  Set ``REPRO_TEST_TIMEOUT=0`` to disable.
+"""
+
+import faulthandler
+import os
+
+import pytest
+
+TIMEOUT_ENV = "REPRO_TEST_TIMEOUT"
+DEFAULT_TIMEOUT_SECONDS = 300.0
+
+
+def _watchdog_seconds() -> float:
+    try:
+        return float(os.environ.get(TIMEOUT_ENV, DEFAULT_TIMEOUT_SECONDS))
+    except ValueError:
+        return DEFAULT_TIMEOUT_SECONDS
+
+
+@pytest.fixture(autouse=True)
+def _hang_watchdog():
+    """Dump every thread's traceback and exit if a single test wedges."""
+    seconds = _watchdog_seconds()
+    if seconds > 0:
+        faulthandler.dump_traceback_later(seconds, exit=True)
+    yield
+    if seconds > 0:
+        faulthandler.cancel_dump_traceback_later()
+
+
+@pytest.fixture(autouse=True)
+def _no_fault_plan_leak():
+    """A test that installs a fault plan must not poison its successors.
+
+    The ``inject`` context manager restores the previous plan on exit; this
+    is the safety net for tests that install a plan directly (or crash
+    inside the context) — after every test the process-wide plan is cleared.
+    """
+    yield
+    from repro.reliability import faults
+
+    if faults._ACTIVE is not None:
+        faults.install(None)

@@ -270,3 +270,150 @@ class TestCacheUnderConcurrentBatches:
         # hit the one cached kernel; the counters stayed exact under racing.
         assert kernel_cache_stats["hits"] + kernel_cache_stats["misses"] >= \
             1 + threads * (1 + len(requests))
+
+class TestInterruptHandling:
+    """Operator interrupts are not request failures (narrowed handlers)."""
+
+    def test_keyboard_interrupt_propagates_uncounted_inline(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "0")     # force the inline path
+        server = PipelineServer(FuncPipeline().add(invert_func()))
+
+        def interrupted(**kwargs):
+            def task(engine=None):
+                raise KeyboardInterrupt()
+            return task
+
+        monkeypatch.setattr(server, "_make_task", interrupted)
+        with pytest.raises(KeyboardInterrupt):
+            server.submit(image=_frames(1)[0])
+        stats = server.stats()
+        assert stats["failed"] == 0
+        assert stats["completed"] == 0
+        # The inflight count was still rebalanced: close(wait=True) returns.
+        server.close(wait=True)
+
+    def test_system_exit_propagates_uncounted_inline(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "0")
+        server = PipelineServer(FuncPipeline().add(invert_func()))
+        monkeypatch.setattr(
+            server, "_make_task",
+            lambda **kw: lambda engine=None: (_ for _ in ()).throw(SystemExit(3)))
+        with pytest.raises(SystemExit):
+            server.submit(image=_frames(1)[0])
+        assert server.stats()["failed"] == 0
+        server.close(wait=True)
+
+
+class TestBatchErrorCollection:
+    """realize_batch collects every request before reporting (no fail-fast)."""
+
+    def test_partial_batch_raises_one_summarizing_error(self):
+        from repro.reliability import BatchError
+
+        func = blur_func()
+        frames = _frames(3)
+        good = {"shape": (50, 34), "buffers": {"input_1": frames[0]}}
+        bad = {"shape": (50, 34), "buffers": {}}          # missing input
+        with PipelineServer(func) as server:
+            with pytest.raises(BatchError, match=r"1/3 batch request"):
+                server.realize_batch([good, bad,
+                                      {"shape": (50, 34),
+                                       "buffers": {"input_1": frames[2]}}])
+            try:
+                server.realize_batch([good, bad, good])
+            except BatchError as error:
+                batch = error.result
+        # Every slot is present and aligned; the failures did not abandon
+        # the requests submitted after them.
+        assert len(batch.outputs) == 3
+        assert batch.failed == 1
+        assert batch.errors[0] is None and batch.errors[2] is None
+        assert batch.errors[1] is not None
+        assert batch.outputs[1] is None
+        expected = realize(func, (50, 34), {"input_1": frames[0]})
+        np.testing.assert_array_equal(batch.outputs[0], expected)
+        np.testing.assert_array_equal(batch.outputs[2], expected)
+
+    def test_submit_time_errors_are_collected_too(self):
+        from repro.reliability import BatchError
+
+        func = blur_func()
+        frame = _frames(1)[0]
+        good = {"shape": (50, 34), "buffers": {"input_1": frame}}
+        with PipelineServer(func) as server:
+            try:
+                server.realize_batch([good, {"bogus_kwarg": 1}, good])
+            except BatchError as error:
+                batch = error.result
+        assert batch.failed == 1
+        assert isinstance(batch.errors[1], TypeError)
+        assert batch.errors[0] is None and batch.errors[2] is None
+
+    def test_clean_batch_has_empty_errors(self):
+        func = blur_func()
+        frames = _frames(2)
+        requests = [{"shape": (50, 34), "buffers": {"input_1": f}}
+                    for f in frames]
+        batch = realize_batch(func, requests)
+        assert batch.errors == [None, None]
+        assert batch.failed == 0
+
+
+class TestDeadlinesAndRetries:
+    def test_deadline_met_returns_normally(self):
+        func = blur_func()
+        frame = _frames(1)[0]
+        with PipelineServer(func) as server:
+            future = server.submit(shape=(50, 34),
+                                   buffers={"input_1": frame}, deadline=30.0)
+            output, seconds = future.result(timeout=30)
+        expected = realize(func, (50, 34), {"input_1": frame})
+        np.testing.assert_array_equal(output, expected)
+        assert server.stats()["deadline_exceeded"] == 0
+
+    def test_stuck_request_resolves_at_the_deadline(self):
+        """The wrapper future resolves with DeadlineExceeded even while the
+        worker is still stuck — result() never hangs."""
+        from repro.reliability import DeadlineExceeded
+
+        release = threading.Event()
+        server = PipelineServer(FuncPipeline().add(invert_func()))
+        try:
+            server._make_task = \
+                lambda **kw: lambda engine=None: release.wait(10) and None
+            future = server.submit(image=_frames(1)[0], deadline=0.1)
+            with pytest.raises(DeadlineExceeded):
+                future.result(timeout=5)
+            assert server.stats()["deadline_exceeded"] == 1
+        finally:
+            release.set()
+            server.close(wait=True)
+
+    def test_transient_failures_retry_then_succeed(self):
+        from repro.reliability import TransientExecutionError
+
+        func = blur_func()
+        frame = _frames(1)[0]
+        expected = realize(func, (50, 34), {"input_1": frame})
+        attempts = []
+        with PipelineServer(func) as server:
+            real_factory = server._make_task
+
+            def flaky_factory(**kwargs):
+                real_task = real_factory(**kwargs)
+
+                def task(engine=None):
+                    attempts.append(1)
+                    if len(attempts) < 3:
+                        raise TransientExecutionError("worker evicted")
+                    return real_task(engine=engine)
+                return task
+
+            server._make_task = flaky_factory
+            future = server.submit(shape=(50, 34),
+                                   buffers={"input_1": frame}, retries=2)
+            output, _ = future.result(timeout=30)
+        np.testing.assert_array_equal(output, expected)
+        assert len(attempts) == 3
+        assert server.stats()["retries"] == 2
+        assert server.stats()["failed"] == 0

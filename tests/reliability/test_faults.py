@@ -1,0 +1,175 @@
+"""The fault-injection registry: grammar, determinism, schedules, activation."""
+
+import time
+
+import pytest
+
+from repro.reliability import faults
+from repro.reliability.faults import (
+    FAULT_SITES,
+    FaultPlan,
+    FaultRule,
+    FaultSpecError,
+    InjectedFault,
+    active_plan,
+    fault_fires,
+    fault_payload,
+    fault_point,
+    inject,
+    install,
+    install_from_env,
+)
+
+
+class TestGrammar:
+    def test_full_entry_parses(self):
+        plan = FaultPlan.parse(
+            "tile.execute:p=0.5,n=2,after=3;"
+            "serve.latency:latency=0.25,p=1;"
+            "pool.die", seed=9)
+        assert plan.seed == 9
+        rule = plan.rules["tile.execute"]
+        assert (rule.probability, rule.count, rule.after) == (0.5, 2, 3)
+        assert plan.rules["serve.latency"].latency == 0.25
+        assert plan.rules["pool.die"].probability == 1.0
+
+    def test_seed_parameter_overrides_argument(self):
+        plan = FaultPlan.parse("tile.execute:seed=77", seed=1)
+        assert plan.seed == 77
+
+    def test_empty_chunks_ignored(self):
+        plan = FaultPlan.parse(";tile.execute:n=1; ;")
+        assert list(plan.rules) == ["tile.execute"]
+
+    @pytest.mark.parametrize("spec", [
+        "no.such.site",
+        "tile.execute:q=1",
+        "tile.execute:p",
+        "tile.execute:p=banana",
+        "tile.execute:p=1.5",
+        "tile.execute:n=-1",
+        "tile.execute:after=-2",
+        "tile.execute:latency=-0.1",
+        "tile.execute;tile.execute",
+    ])
+    def test_malformed_specs_rejected(self, spec):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.parse(spec)
+
+    def test_describe_round_trips(self):
+        spec = "kernel.execute:p=0.25,n=3,after=1;serve.latency:latency=0.5"
+        plan = FaultPlan.parse(spec, seed=4)
+        reparsed = FaultPlan.parse(plan.describe(), seed=4)
+        assert reparsed.rules == plan.rules
+
+
+class TestSchedules:
+    def test_count_limits_fires(self):
+        plan = FaultPlan([FaultRule("tile.execute", count=2)])
+        fires = [plan.fire("tile.execute") is not None for _ in range(5)]
+        assert fires == [True, True, False, False, False]
+        assert plan.fired["tile.execute"] == 2
+        assert plan.checks["tile.execute"] == 5
+
+    def test_after_skips_leading_checks(self):
+        plan = FaultPlan([FaultRule("tile.execute", after=2, count=1)])
+        fires = [plan.fire("tile.execute") is not None for _ in range(4)]
+        assert fires == [False, False, True, False]
+        assert plan.log == [("tile.execute", 2)]
+
+    def test_unlisted_site_never_fires(self):
+        plan = FaultPlan([FaultRule("tile.execute")])
+        assert plan.fire("pool.die") is None
+        assert plan.total_fired() == 0
+
+    def test_same_seed_same_sequence(self):
+        def sequence(seed):
+            plan = FaultPlan([FaultRule("tile.execute", probability=0.4)],
+                             seed=seed)
+            return [plan.fire("tile.execute") is not None for _ in range(64)]
+
+        assert sequence(123) == sequence(123)
+        assert sequence(123) != sequence(124)
+
+    def test_sites_draw_independently(self):
+        """Interleaving checks at another site must not shift a site's draws."""
+        alone = FaultPlan([FaultRule("tile.execute", probability=0.4)], seed=5)
+        mixed = FaultPlan([FaultRule("tile.execute", probability=0.4),
+                           FaultRule("pool.die", probability=0.4)], seed=5)
+        alone_fires, mixed_fires = [], []
+        for _ in range(64):
+            alone_fires.append(alone.fire("tile.execute") is not None)
+            mixed.fire("pool.die")
+            mixed_fires.append(mixed.fire("tile.execute") is not None)
+        assert alone_fires == mixed_fires
+
+
+class TestActivation:
+    def test_inject_installs_and_restores(self):
+        outer = FaultPlan([FaultRule("pool.die")])
+        install(outer)
+        with inject("tile.execute:n=1", seed=3) as plan:
+            assert active_plan() is plan
+            assert plan.rules["tile.execute"].count == 1
+        assert active_plan() is outer
+        install(None)
+        assert active_plan() is None
+
+    def test_env_activation(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "tile.execute:n=2,seed=11")
+        plan = install_from_env()
+        assert active_plan() is plan
+        assert plan.seed == 11
+        monkeypatch.delenv(faults.FAULTS_ENV)
+        assert install_from_env() is None
+
+    def test_env_parsed_lazily_on_first_use(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "pool.die:n=1")
+        monkeypatch.setattr(faults, "_ACTIVE", None)
+        monkeypatch.setattr(faults, "_ENV_LOADED", False)
+        plan = active_plan()
+        assert plan is not None and "pool.die" in plan.rules
+
+
+class TestInstrumentationPrimitives:
+    def test_fault_point_raises_typed_error(self):
+        with inject("tile.execute:n=1"):
+            with pytest.raises(InjectedFault) as error:
+                fault_point("tile.execute")
+            assert error.value.site == "tile.execute"
+            assert error.value.index == 0
+            fault_point("tile.execute")          # schedule exhausted: clean
+
+    def test_fault_point_no_plan_is_noop(self):
+        install(None)
+        for site in FAULT_SITES:
+            fault_point(site)
+
+    def test_latency_site_sleeps_instead_of_raising(self):
+        with inject("serve.latency:latency=0.02,n=1"):
+            start = time.perf_counter()
+            fault_point("serve.latency")
+            assert time.perf_counter() - start >= 0.015
+
+    def test_fault_fires_returns_rule(self):
+        with inject("pool.die:n=1") as plan:
+            assert fault_fires("pool.die") is plan.rules["pool.die"]
+            assert fault_fires("pool.die") is None
+
+    def test_payload_clean_passthrough(self):
+        data = b"REPROART\x01\x00hello world payload bytes"
+        assert fault_payload("store.corrupt_blob", data) is data
+
+    def test_payload_corruption_breaks_the_header(self):
+        data = b"REPROART\x01\x00" + bytes(64)
+        with inject("store.corrupt_blob:n=1"):
+            mangled = fault_payload("store.corrupt_blob", data)
+        assert len(mangled) == len(data)
+        assert mangled != data
+        assert not mangled.startswith(b"REPROART")
+
+    def test_payload_partial_write_truncates(self):
+        data = bytes(range(256)) * 3
+        with inject("store.partial_write:n=1"):
+            partial = fault_payload("store.partial_write", data)
+        assert partial == data[:len(data) // 3]

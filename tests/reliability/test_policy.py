@@ -1,0 +1,192 @@
+"""Retry/deadline/breaker policy objects and the failure taxonomy."""
+
+import time
+
+import pytest
+
+from repro.halide.realize import RealizationError
+from repro.reliability.faults import InjectedFault
+from repro.reliability.policy import (
+    DEGRADABLE,
+    FATAL,
+    TRANSIENT,
+    BatchError,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    DegradedResult,
+    ReliabilityError,
+    RetryPolicy,
+    TransientExecutionError,
+    classify_failure,
+)
+
+
+class TestTaxonomy:
+    @pytest.mark.parametrize("exc,kind", [
+        (TransientExecutionError("boom"), TRANSIENT),
+        (InjectedFault("tile.execute", 0), TRANSIENT),
+        (TimeoutError(), TRANSIENT),
+        (ConnectionError(), TRANSIENT),
+        (OSError("disk hiccup"), TRANSIENT),
+        (RealizationError("kernel cannot execute"), DEGRADABLE),
+        (DeadlineExceeded("late"), FATAL),
+        (ValueError("bad shape"), FATAL),
+        (KeyError("missing buffer"), FATAL),
+    ])
+    def test_classification(self, exc, kind):
+        assert classify_failure(exc) == kind
+
+    def test_typed_errors_share_a_base(self):
+        for error in (TransientExecutionError("x"), DeadlineExceeded("x"),
+                      BatchError("x")):
+            assert isinstance(error, ReliabilityError)
+
+    def test_batch_error_carries_the_result(self):
+        marker = object()
+        assert BatchError("2/3 failed", result=marker).result is marker
+
+    def test_degraded_result_fields(self):
+        degraded = DegradedResult("value", reason="breaker open", attempts=3)
+        assert (degraded.value, degraded.attempts) == ("value", 3)
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule(self):
+        policy = RetryPolicy(retries=4, backoff=0.1, multiplier=2.0,
+                             max_backoff=0.3)
+        assert list(policy.delays()) == [0.1, 0.2, 0.3, 0.3]
+        assert policy.delay(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=-0.1)
+
+    def test_run_retries_transients_then_succeeds(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise TransientExecutionError("not yet")
+            return "ok"
+
+        seen = []
+        policy = RetryPolicy(retries=3, backoff=0.0)
+        result = policy.run(flaky, on_retry=lambda n, exc: seen.append(n))
+        assert result == "ok"
+        assert len(calls) == 3
+        assert seen == [1, 2]
+
+    def test_run_raises_after_budget(self):
+        policy = RetryPolicy(retries=1, backoff=0.0)
+        calls = []
+
+        def always():
+            calls.append(1)
+            raise TransientExecutionError("still broken")
+
+        with pytest.raises(TransientExecutionError):
+            policy.run(always)
+        assert len(calls) == 2                  # first attempt + one retry
+
+    def test_run_fatal_propagates_immediately(self):
+        calls = []
+
+        def fatal():
+            calls.append(1)
+            raise ValueError("caller bug")
+
+        with pytest.raises(ValueError):
+            RetryPolicy(retries=5, backoff=0.0).run(fatal)
+        assert len(calls) == 1
+
+    def test_run_deadline_caps_the_backoff(self):
+        policy = RetryPolicy(retries=5, backoff=10.0)
+
+        def always():
+            raise TransientExecutionError("slow failure")
+
+        start = time.perf_counter()
+        with pytest.raises(DeadlineExceeded):
+            policy.run(always, deadline=Deadline(0.05))
+        assert time.perf_counter() - start < 1.0
+
+
+class TestDeadline:
+    def test_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Deadline(0)
+
+    def test_coerce(self):
+        deadline = Deadline(1.0)
+        assert Deadline.coerce(None) is None
+        assert Deadline.coerce(deadline) is deadline
+        assert isinstance(Deadline.coerce(0.5), Deadline)
+
+    def test_remaining_counts_down_and_floors_at_zero(self):
+        deadline = Deadline(0.05)
+        assert 0 < deadline.remaining() <= 0.05
+        time.sleep(0.06)
+        assert deadline.remaining() == 0.0
+        assert deadline.expired
+
+    def test_check_raises_typed_error(self):
+        deadline = Deadline(0.01)
+        deadline.check("early")                 # within budget: silent
+        time.sleep(0.02)
+        with pytest.raises(DeadlineExceeded, match="request exceeded"):
+            deadline.check()
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=60.0)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 1
+        assert not breaker.allow()
+
+    def test_success_resets_the_count(self):
+        breaker = CircuitBreaker(threshold=2, cooldown=60.0)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_admits_one_probe(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=0.05)
+        breaker.record_failure()
+        assert not breaker.allow()
+        time.sleep(0.06)
+        assert breaker.allow()                  # the probe
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert not breaker.allow()              # everyone else keeps waiting
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED and breaker.allow()
+
+    def test_failed_probe_reopens(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=0.05)
+        breaker.record_failure()
+        time.sleep(0.06)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 2
+        assert not breaker.allow()
+
+    def test_snapshot(self):
+        breaker = CircuitBreaker(threshold=4, cooldown=1.0)
+        breaker.record_failure()
+        snapshot = breaker.snapshot()
+        assert snapshot == {"state": "closed", "failures": 1,
+                            "threshold": 4, "trips": 0}
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)

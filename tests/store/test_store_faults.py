@@ -1,0 +1,175 @@
+"""ArtifactStore crash paths: corruption, partial writes, quarantine, re-lift.
+
+Satellite of the reliability PR: every way a blob can go bad on disk must
+read back as a clean miss (with the evidence quarantined, never silently
+deleted) and heal on the next put — the store's contract is that corruption
+costs a re-lift, not an error and never a wrong artifact.
+"""
+
+import json
+
+import pytest
+
+from repro.core.stages import STAGE_VERSIONS, STAGES
+from repro.reliability.faults import InjectedFault, inject
+from repro.store import ArtifactStore, dumps_artifact, stage_key
+from repro.store.serialize import FORMAT_VERSION, MAGIC
+from repro.store.store import QUARANTINE_DIR
+
+FP = {"app": "photoshop", "width": 16, "height": 12, "data": "abc123"}
+PAYLOAD = {"kernels": [1, 2, 3], "notes": "x" * 200}
+
+
+def key(stage="coverage", seed=0):
+    return stage_key(FP, "blur", seed, stage, STAGE_VERSIONS, STAGES)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+class TestCrashPaths:
+    def test_blob_without_manifest_still_reads(self, store):
+        """A crash after the blob write leaves a *valid* blob; the manifest
+        is bookkeeping, not integrity — get() serves it, entries() omits it,
+        prune() collects it once it is old enough."""
+        k = key()
+        with inject("store.crash_after_blob:n=1"):
+            with pytest.raises(InjectedFault):
+                store.put(k, PAYLOAD)
+        assert store.blob_path(k).exists()
+        assert not store.manifest_path(k).exists()
+        assert store.get(k) == PAYLOAD
+        assert store.entries() == []
+
+    def test_manifestless_blob_pruned_after_grace(self, store, monkeypatch):
+        k = key()
+        with inject("store.crash_after_blob:n=1"):
+            with pytest.raises(InjectedFault):
+                store.put(k, PAYLOAD)
+        monkeypatch.setattr(ArtifactStore, "PRUNE_GRACE_SECONDS", -1.0)
+        assert store.prune(lambda manifest: True) == 1
+        assert not store.blob_path(k).exists()
+
+    def test_truncated_blob_is_a_miss_quarantined_and_relifts(self, store):
+        k = key()
+        with inject("store.partial_write:n=1"):
+            store.put(k, PAYLOAD)
+        data = store.blob_path(k).read_bytes()
+        assert data.startswith(MAGIC)            # header survived truncation
+        assert store.get(k) is None              # clean miss, not an error
+        assert not store.blob_path(k).exists()
+        assert store.stats()["quarantined"] == 1
+        names = sorted(p.name for p in store.quarantine_root.iterdir())
+        assert names == [f"{k.stage}__{k.digest}.json",
+                         f"{k.stage}__{k.digest}.pkl"]
+        store.put(k, PAYLOAD)                    # the re-lift heals the store
+        assert store.get(k) == PAYLOAD
+
+    def test_bad_magic_blob_is_a_miss_and_quarantined(self, store):
+        k = key()
+        with inject("store.corrupt_blob:n=1"):
+            store.put(k, PAYLOAD)
+        assert not store.blob_path(k).read_bytes().startswith(MAGIC)
+        assert store.get(k) is None
+        assert store.stats()["quarantined"] == 1
+        # Both halves of the pair moved aside: blob and manifest.
+        names = sorted(p.name for p in store.quarantine_root.iterdir())
+        assert names == [f"{k.stage}__{k.digest}.json",
+                         f"{k.stage}__{k.digest}.pkl"]
+
+    def test_hand_corrupted_pickle_body_quarantines(self, store):
+        k = key()
+        store.put(k, PAYLOAD)
+        blob = store.blob_path(k)
+        intact = blob.read_bytes()
+        blob.write_bytes(intact[:len(MAGIC) + 2] + b"\x00garbage\x00")
+        assert store.get(k) is None
+        assert store.stats()["quarantined"] == 1
+        store.put(k, PAYLOAD)
+        assert store.get(k) == PAYLOAD
+
+    def test_future_format_blob_left_untouched(self, store):
+        """A well-formed blob of a newer format belongs to another build:
+        miss, but no quarantine and no deletion."""
+        k = key()
+        blob = store.blob_path(k)
+        blob.parent.mkdir(parents=True, exist_ok=True)
+        blob.write_bytes(MAGIC + (FORMAT_VERSION + 1).to_bytes(2, "little")
+                         + b"payload-of-the-future")
+        assert store.get(k) is None
+        assert blob.exists()
+        assert store.stats()["quarantined"] == 0
+        assert not store.quarantine_root.exists()
+
+    def test_repeat_corruption_keeps_every_specimen(self, store):
+        k = key()
+        for _ in range(2):
+            with inject("store.corrupt_blob:n=1"):
+                store.put(k, PAYLOAD)
+            assert store.get(k) is None
+        names = sorted(p.name for p in store.quarantine_root.iterdir())
+        assert names == [f"{k.stage}__{k.digest}.1.json",
+                         f"{k.stage}__{k.digest}.1.pkl",
+                         f"{k.stage}__{k.digest}.json",
+                         f"{k.stage}__{k.digest}.pkl"]
+        assert store.stats()["quarantined"] == 2
+
+
+class TestQuarantineBookkeeping:
+    def _corrupt_one(self, store):
+        k = key()
+        with inject("store.corrupt_blob:n=1"):
+            store.put(k, PAYLOAD)
+        assert store.get(k) is None
+        return k
+
+    def test_quarantine_excluded_from_store_accounting(self, store):
+        k = self._corrupt_one(store)
+        store.put(k, PAYLOAD)                    # one healthy artifact
+        assert len(store.entries()) == 1
+        healthy = store.blob_path(k).stat().st_size
+        assert store.size_bytes() == healthy
+        # prune() must not touch the quarantined files either.
+        assert store.prune(lambda manifest: True) == 0
+        assert len(list(store.quarantine_root.iterdir())) == 2
+
+    def test_clear_leaves_quarantine_for_explicit_removal(self, store):
+        self._corrupt_one(store)
+        assert store.clear() == 0
+        assert len(list(store.quarantine_root.iterdir())) == 2
+        assert store.clear_quarantine() == 2
+        assert list(store.quarantine_root.iterdir()) == []
+
+    def test_quarantine_entries_report_files(self, store):
+        k = self._corrupt_one(store)
+        records = store.quarantine_entries()
+        assert [r["name"] for r in records] == \
+            sorted([f"{k.stage}__{k.digest}.json",
+                    f"{k.stage}__{k.digest}.pkl"])
+        assert all(r["size_bytes"] > 0 for r in records)
+
+    def test_empty_quarantine(self, store):
+        assert store.quarantine_entries() == []
+        assert store.clear_quarantine() == 0
+
+
+class TestFaultedPutsStillAtomic:
+    def test_partial_write_never_leaves_a_temp_file(self, store):
+        k = key()
+        with inject("store.partial_write:n=1"):
+            store.put(k, PAYLOAD)
+        leftovers = [p for p in store.blob_path(k).parent.iterdir()
+                     if p.name.startswith(".tmp-")]
+        assert leftovers == []
+
+    def test_manifest_matches_what_was_written(self, store):
+        """The manifest's size_bytes records the *persisted* (mangled) size,
+        so an operator inspecting quarantine can see the truncation."""
+        k = key()
+        with inject("store.partial_write:n=1"):
+            store.put(k, PAYLOAD)
+        manifest = json.loads(store.manifest_path(k).read_text())
+        assert manifest["size_bytes"] == store.blob_path(k).stat().st_size
+        assert manifest["size_bytes"] < len(dumps_artifact(PAYLOAD))
