@@ -16,6 +16,8 @@ Three serving configurations over the same batch of frames through one
 
 from __future__ import annotations
 
+import statistics
+
 import numpy as np
 import pytest
 
@@ -41,8 +43,10 @@ FAULT_SPEC = ("kernel.execute:p=0.3,n=3;tile.execute:p=0.1,n=4;"
 
 #: The gate: guarded (policies on, faults off) vs clean serving overhead.
 MAX_OVERHEAD = 0.03
-#: Millisecond-scale absolute slack: on a single-core CI runner best-of-N
-#: still jitters by scheduler quanta, which 3% of a short batch is below.
+#: Interleaved clean/guarded measurement rounds per mode.
+ROUNDS = 12
+#: Millisecond-scale absolute slack: on a single-core CI runner even the
+#: median jitters by scheduler quanta, which 3% of a short batch is below.
 EPSILON_SECONDS = 0.002
 
 
@@ -80,17 +84,42 @@ def test_fig9_resilience_overhead(resilience_frames):
     configure_pool()
     func = blur_func()
     with PipelineServer(func) as server:
-        # Interleave the two gated measurements round-robin: an external
-        # load spike then lands on both modes instead of inflating
-        # whichever happened to be timed second, and best-of-N still
-        # discards it entirely when it was one-sided.
-        clean = guarded = float("inf")
-        for _ in range(7):
-            clean = min(clean, time_callable(
-                lambda: _serve_batch(server, resilience_frames), repeats=1))
-            guarded = min(guarded, time_callable(
+        # Interleave the two gated measurements round-robin, and flip which
+        # mode goes first every round: an external load spike lands on both
+        # modes instead of inflating whichever happened to be timed second,
+        # and the fixed-order bias (the first batch after a pause runs a
+        # touch cold) cancels instead of always taxing the same mode.
+        _serve_batch(server, resilience_frames)
+        _serve_batch(server, resilience_frames, deadline=60.0, retries=2)
+        clean_samples: list[float] = []
+        guarded_samples: list[float] = []
+        round_ratios: list[float] = []
+        for round_index in range(ROUNDS):
+            time_clean = lambda: time_callable(
+                lambda: _serve_batch(server, resilience_frames), repeats=1)
+            time_guarded = lambda: time_callable(
                 lambda: _serve_batch(server, resilience_frames,
-                                     deadline=60.0, retries=2), repeats=1))
+                                     deadline=60.0, retries=2), repeats=1)
+            if round_index % 2 == 0:
+                clean_seconds, guarded_seconds = time_clean(), time_guarded()
+            else:
+                guarded_seconds, clean_seconds = time_guarded(), time_clean()
+            clean_samples.append(clean_seconds)
+            guarded_samples.append(guarded_seconds)
+            round_ratios.append(guarded_seconds / clean_seconds)
+        # The recorded best_seconds stay best-of-N like every other
+        # benchmark, but the overhead *ratio* is the median of per-round
+        # guarded/clean ratios: the two modes of one round run back to
+        # back, so slow host drift across the measurement window cancels
+        # within each pair, and a one-sided spike corrupts one ratio out
+        # of twelve instead of an entire pooled median.  (A ratio of two
+        # noisy minima swung by ±10% on a jittery single-core host and
+        # produced physically-implausible negative "overheads".)
+        clean = min(clean_samples)
+        guarded = min(guarded_samples)
+        clean_median = statistics.median(clean_samples)
+        guarded_median = statistics.median(guarded_samples)
+        overhead_ratio = statistics.median(round_ratios)
 
         def faulted_batch():
             with inject(FaultPlan.parse(FAULT_SPEC, seed=5)):
@@ -100,22 +129,26 @@ def test_fig9_resilience_overhead(resilience_frames):
         faulted = time_callable(faulted_batch, repeats=3)
         stats = server.stats()
 
+    overhead = overhead_ratio - 1.0
     print_table(
         "Figure 9 companion: resilience harness overhead "
-        f"({FRAMES} frames, {GATE_WIDTH}x{GATE_HEIGHT})",
-        ["mode", "batch ms", "vs clean"],
-        [["clean (faults off)", f"{clean * 1000:.2f}", "1.00x"],
+        f"({FRAMES} frames, {GATE_WIDTH}x{GATE_HEIGHT}, "
+        f"median of {ROUNDS} paired interleaved rounds)",
+        ["mode", "best ms", "median ms", "vs clean (paired)"],
+        [["clean (faults off)", f"{clean * 1000:.2f}",
+          f"{clean_median * 1000:.2f}", "1.00x"],
          ["guarded (deadline+retries)", f"{guarded * 1000:.2f}",
-          f"{guarded / clean:.3f}x" if clean else "n/a"],
-         ["faulted (chaos schedule)", f"{faulted * 1000:.2f}",
-          f"{faulted / clean:.3f}x" if clean else "n/a"]])
+          f"{guarded_median * 1000:.2f}", f"{overhead_ratio:.3f}x"],
+         ["faulted (chaos schedule)", f"{faulted * 1000:.2f}", "-",
+          f"{faulted / clean_median:.3f}x" if clean_median else "n/a"]])
     size = (GATE_WIDTH, GATE_HEIGHT)
     record_bench("fig9_resilience/clean", clean, engine="default",
-                 image_size=size, frames=FRAMES)
-    record_bench("fig9_resilience/guarded", guarded, engine="default",
                  image_size=size, frames=FRAMES,
-                 overhead_vs_clean=round(guarded / clean - 1.0, 4)
-                 if clean else None)
+                 median_seconds=round(clean_median, 6))
+    record_bench("fig9_resilience/guarded", guarded, engine="default",
+                 image_size=size, frames=FRAMES, rounds=ROUNDS,
+                 median_seconds=round(guarded_median, 6),
+                 overhead_vs_clean=round(overhead, 4))
     record_bench("fig9_resilience/faulted", faulted, engine="default",
                  image_size=size, frames=FRAMES,
                  degraded=stats["degraded"], retries=stats["retries"])
@@ -123,7 +156,9 @@ def test_fig9_resilience_overhead(resilience_frames):
     # The gate: with no faults firing, the whole reliability layer —
     # instrumented sites, deadline plumbing, retry/breaker bookkeeping —
     # must be within 3% of the unguarded serving path (plus scheduler
-    # jitter slack on millisecond-scale batches).
-    assert guarded <= clean * (1.0 + MAX_OVERHEAD) + EPSILON_SECONDS, (
-        f"guarded serving {guarded:.4f}s exceeds clean {clean:.4f}s "
-        f"by more than {MAX_OVERHEAD:.0%}")
+    # jitter slack on millisecond-scale batches).  Gated on the paired
+    # median ratio: a single stray scheduler quantum shifts a minimum by
+    # ~10% but barely moves the median of a dozen paired rounds.
+    assert overhead <= MAX_OVERHEAD + EPSILON_SECONDS / clean_median, (
+        f"guarded serving overhead {overhead:+.1%} (median of paired "
+        f"rounds) exceeds {MAX_OVERHEAD:.0%}")
