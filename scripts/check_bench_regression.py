@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """Benchmark regression gate: fresh BENCH_results.json vs a baseline.
 
-Compares the tracked benchmark families (``fig8_*`` and ``lift_cache/*`` by
-default) between a baseline results file (the committed BENCH_results.json,
+Compares the tracked benchmark families (``fig8_*``, ``fig10_*`` and
+``lift_cache/*`` by default) between a baseline results file (the committed BENCH_results.json,
 copied aside before the benchmark run) and the freshly written one, and
 fails when any benchmark regressed by more than the threshold (30%).
 
@@ -31,7 +31,7 @@ import statistics
 import sys
 from pathlib import Path
 
-DEFAULT_PREFIXES = ("fig8_", "lift_cache/")
+DEFAULT_PREFIXES = ("fig8_", "fig10_", "lift_cache/")
 DEFAULT_THRESHOLD = 0.30
 #: Median calibration needs at least this many compared keys: with two, the
 #: median of two ratios splits the difference and a genuine regression in

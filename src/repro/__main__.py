@@ -6,7 +6,9 @@ Subcommands::
     python -m repro lift photoshop blur       # staged lift (store-backed)
     python -m repro run photoshop blur        # lift + apply to a big image
     python -m repro serve photoshop blur      # lift + serve a frame batch
+    python -m repro tune photoshop blur       # autotune + persist the winner
     python -m repro cache stats|list|clear    # inspect the artifact store
+    python -m repro cache tuning --show       # list persisted tuning records
 
 ``lift`` prints the per-stage provenance (store hit vs computed, seconds,
 instrumented runs) so the effect of the artifact store is visible: the second
@@ -249,10 +251,80 @@ def cmd_serve(args) -> int:
     return 1 if batch.failed else 0
 
 
+def cmd_tune(args) -> int:
+    """Autotune one lifted kernel and persist the winner in the store.
+
+    Lifts (or loads) the scenario, builds the same realization request
+    ``serve`` would issue for one synthetic frame, and runs the cost-model
+    autotuner on it.  With a store (the default), the result lands in the
+    ``tuning/`` stage so later ``serve`` invocations — and any
+    ``PipelineServer(frame_shape=...)`` — warm-start with the measured best
+    schedule at zero timing cost.
+    """
+    from .halide.autotune import autotune
+    from .rejuvenation.serving import make_serve_requests
+
+    session = _session_from_args(args)
+    result = session.run()
+    frame = _frames_for(args.app, args.width, args.height, 1)[0]
+    func, requests = make_serve_requests(result, [frame])
+    request = requests[0]
+    store = _store_from_args(args)
+    start = time.perf_counter()
+    tuned = autotune(func, request["shape"], request["buffers"],
+                     params=request.get("params"),
+                     iterations=args.iterations, seed=args.rng_seed,
+                     engine=args.engine, top_k=args.top_k, store=store,
+                     reuse=not args.force)
+    seconds = time.perf_counter() - start
+    print(f"tuned {args.app}/{args.filter} at {args.width}x{args.height} "
+          f"in {seconds:.3f}s (source: {tuned.source}): "
+          f"best [{tuned.best_schedule.describe()}] "
+          f"{tuned.best_time * 1e3:.3f}ms, "
+          f"{tuned.evaluations} timed evaluation(s)")
+    if tuned.ranked:
+        rows = [(rank + 1, f"{score.cost:.0f}", score.demotions,
+                 "; ".join(score.describe))
+                for rank, score in enumerate(tuned.ranked[:10])]
+        _print_table(["rank", "model cost", "demotions", "schedule"], rows)
+    if store is not None:
+        from .halide.tuningdb import func_workload, tuning_key
+
+        np_shape = tuple(reversed(request["shape"]))
+        key = tuning_key(func_workload(func, np_shape))
+        print(f"record: tuning/{key.digest[:12]} in {store.root}")
+    return 0
+
+
 def cmd_cache(args) -> int:
     from .store import ArtifactStore, manifest_is_current
 
     store = ArtifactStore(args.store) if args.store else ArtifactStore()
+    if args.action == "tuning":
+        from .halide.tuningdb import TuningDatabase
+
+        db = TuningDatabase(store)
+        if args.evict:
+            removed = db.evict()
+            print(f"evicted {removed} tuning record(s) from {store.root}")
+            return 0
+        entries = db.entries()
+        rows = []
+        for manifest in entries:
+            key = manifest.get("key", {})
+            machine = key.get("machine", {})
+            workload = key.get("workload", ["?"])
+            kind = workload[0] if workload else "?"
+            label = workload[1] if len(workload) > 1 else "?"
+            if isinstance(label, list):
+                label = "x".join(str(d) for d in label)
+            rows.append((kind, label, manifest["digest"][:12],
+                         f"{machine.get('machine', '?')}/"
+                         f"{machine.get('cpus', '?')}cpu",
+                         manifest["size_bytes"]))
+        print(f"tuning records: {len(rows)} in {store.root}")
+        _print_table(["kind", "workload", "key", "machine", "bytes"], rows)
+        return 0
     if args.action == "clear":
         removed = store.clear()
         print(f"removed {removed} artifact(s) from {store.root}")
@@ -272,10 +344,14 @@ def cmd_cache(args) -> int:
         return 0
     if args.action == "prune":
         from .core.stages import STAGE_VERSIONS, STAGES
+        from .halide.tuningdb import tuning_manifest_is_current
 
+        # Tuning records live outside the lift-stage version chain; they are
+        # current under their own version test, not stale interlopers.
         removed = store.prune(
             lambda manifest: manifest_is_current(manifest, STAGE_VERSIONS,
-                                                 STAGES))
+                                                 STAGES)
+            or tuning_manifest_is_current(manifest))
         kept = len(store.entries())
         print(f"pruned {removed} stale artifact(s) from {store.root} "
               f"({kept} current kept)")
@@ -359,13 +435,36 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: no retries)")
     serve.set_defaults(fn=cmd_serve)
 
+    tune = commands.add_parser(
+        "tune", help="autotune a lifted kernel; persist the winner for "
+                     "warm-started serving")
+    _add_scenario_args(tune)
+    tune.add_argument("--width", type=int, default=640)
+    tune.add_argument("--height", type=int, default=480)
+    tune.add_argument("--iterations", type=int, default=12,
+                      help="candidate schedules to sample (default: 12)")
+    tune.add_argument("--top-k", type=int, default=5,
+                      help="sampled candidates to wall-clock-time after "
+                           "cost-model ranking (default: 5)")
+    tune.add_argument("--rng-seed", type=int, default=0,
+                      help="candidate sampling seed (default: 0)")
+    tune.add_argument("--engine", default=None, choices=("compiled", "interp"))
+    tune.add_argument("--force", action="store_true",
+                      help="retune even when a stored record matches")
+    tune.set_defaults(fn=cmd_tune)
+
     cache = commands.add_parser(
         "cache", help="inspect, prune or clear the artifact store")
     cache.add_argument("action", nargs="?", default="stats",
-                       choices=("stats", "list", "clear", "prune", "quarantine"))
+                       choices=("stats", "list", "clear", "prune",
+                                "quarantine", "tuning"))
     cache.add_argument("--store", default=None)
     cache.add_argument("--clear", action="store_true",
                        help="with `quarantine`: delete the quarantined blobs")
+    cache.add_argument("--show", action="store_true",
+                       help="with `tuning`: list records (the default)")
+    cache.add_argument("--evict", action="store_true",
+                       help="with `tuning`: delete every tuning record")
     cache.set_defaults(fn=cmd_cache)
     return parser
 

@@ -32,14 +32,28 @@ from .images import InterleavedLayout, interleave, make_test_planes
 _BLUR_WEIGHTS = {(dy, dx): 1.0 / 9.0 for dy in (-1, 0, 1) for dx in (-1, 0, 1)}
 _SHARPEN_WEIGHTS = {(dy, dx): (2.2 if (dy, dx) == (0, 0) else -0.15)
                     for dy in (-1, 0, 1) for dx in (-1, 0, 1)}
+#: Directional emboss: a *sparse* tap set (six of the nine positions carry
+#: weight), exercising the float-conv generator's ability to skip absent
+#: taps.  Negative results wrap through the fistp + byte-store truncation
+#: exactly like the reference's ``& 0xFF``.
+_EMBOSS_WEIGHTS = {(-1, -1): -1.0, (-1, 0): -1.0, (0, -1): -1.0,
+                   (0, 0): 4.0, (0, 1): -0.5, (1, 1): 0.5}
 
 FILTER_SPECS = {
     "invert": PointwiseSpec("iv_invert", "invert", unroll=4),
     "solarize": PointwiseSpec("iv_solarize", "solarize", unroll=2),
     "blur": FloatConvSpec("iv_blur", weights=_BLUR_WEIGHTS),
     "sharpen": FloatConvSpec("iv_sharpen", weights=_SHARPEN_WEIGHTS),
+    "emboss": FloatConvSpec("iv_emboss", weights=_EMBOSS_WEIGHTS),
     "equalize": HistogramSpec("iv_histogram"),
 }
+
+#: Filters backed by the x87 float convolution generator
+#: (:mod:`repro.kgen.floatstencil`) — tagged ``float-stencil`` in the
+#: scenario registry.
+FLOAT_STENCIL_FILTERS = tuple(
+    name for name, spec in FILTER_SPECS.items()
+    if isinstance(spec, FloatConvSpec))
 
 #: Filters whose traced kernel is only part of the feature (the histogram
 #: computation of equalize; the mapping application happens outside it).
@@ -63,6 +77,7 @@ class IrfanViewApp(Application):
         filters.append_assembly(emit_pointwise(FILTER_SPECS["solarize"]))
         filters.append_assembly(emit_float_conv(FILTER_SPECS["blur"]))
         filters.append_assembly(emit_float_conv(FILTER_SPECS["sharpen"]))
+        filters.append_assembly(emit_float_conv(FILTER_SPECS["emboss"]))
         filters.append_assembly(emit_histogram(FILTER_SPECS["equalize"]))
         background = Module.from_assembly("iv_main", BACKGROUND_ASSEMBLY)
         return Program([background, filters]).load()

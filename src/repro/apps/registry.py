@@ -127,6 +127,7 @@ REDUCTION_FILTERS = {("photoshop", "equalize"), ("photoshop", "column_sum"),
 
 def _register_builtin_scenarios() -> None:
     from .irfanview import FILTER_SPECS as IV_SPECS, \
+        FLOAT_STENCIL_FILTERS as IV_FLOAT_STENCILS, \
         PARTIALLY_LIFTED as IV_PARTIAL
     from .photoshop import FILTER_SPECS as PS_SPECS, FULLY_LIFTED
 
@@ -143,6 +144,8 @@ def _register_builtin_scenarios() -> None:
     for name in IV_SPECS:
         tags = ("irfanview", "interleaved",
                 "partially-lifted" if name in IV_PARTIAL else "fully-lifted")
+        if name in IV_FLOAT_STENCILS:
+            tags = tags + ("float-stencil",)
         if ("irfanview", name) in REDUCTION_FILTERS:
             tags = tags + ("reduction",)
         register(Scenario(app_name="irfanview", filter_name=name,

@@ -10,8 +10,12 @@ their tiles across a shared worker pool (:mod:`repro.halide.parallel`), and a
 batched realization service (:class:`PipelineServer` / :func:`realize_batch`)
 compiles a pipeline once and serves many frames concurrently with bounded
 queueing.  A small scheduling model (tiling / vectorize-by-numpy /
-parallel-by-tiles), Func-level pipeline fusion and a random-search autotuner
-standing in for OpenTuner round out the front end.
+parallel-by-tiles), Func-level pipeline fusion and a cost-model-guided
+autotuner standing in for OpenTuner — candidate schedules are ranked
+analytically (:mod:`repro.halide.costmodel`) so only the top-k are timed,
+and measured winners persist in the artifact store's ``tuning/`` stage
+(:mod:`repro.halide.tuningdb`) for zero-cost warm starts — round out the
+front end.
 """
 
 from .func import Func, ImageParam, RDom, Schedule, Var
@@ -37,15 +41,41 @@ from .parallel import (
     reset_execution_stats,
 )
 from .serve import BatchResult, PipelineServer, realize_batch
-from .autotune import PipelineTuneResult, autotune, autotune_pipeline
+from .autotune import (
+    PipelineTuneResult,
+    TuneResult,
+    autotune,
+    autotune_pipeline,
+    reset_tuner_stats,
+    tuner_stats,
+)
+from .costmodel import (
+    CandidateScore,
+    StageFeatures,
+    rank_func_candidates,
+    rank_pipeline_candidates,
+    score_features,
+)
+from .tuningdb import (
+    TuningDatabase,
+    TuningRecord,
+    machine_fingerprint,
+    warm_start_func,
+    warm_start_pipeline,
+)
 from .pipeline import FuncPipeline, FuncStage, FusedPipeline, inline_producer
 
 __all__ = ["Func", "ImageParam", "RDom", "Schedule", "Var", "realize",
            "realize_interp", "set_default_engine", "ENGINES",
            "CompiledKernel", "compile_func", "kernel_cache_stats",
            "clear_kernel_cache", "autotune", "autotune_pipeline",
-           "PipelineTuneResult", "FusedPipeline",
+           "PipelineTuneResult", "TuneResult", "tuner_stats",
+           "reset_tuner_stats", "FusedPipeline",
            "FuncPipeline", "FuncStage", "inline_producer",
+           "CandidateScore", "StageFeatures", "score_features",
+           "rank_func_candidates", "rank_pipeline_candidates",
+           "TuningDatabase", "TuningRecord", "machine_fingerprint",
+           "warm_start_func", "warm_start_pipeline",
            "ParallelFallbackWarning", "configure_pool", "execution_stats",
            "pool_size", "reset_execution_stats",
            "BatchResult", "PipelineServer", "realize_batch",

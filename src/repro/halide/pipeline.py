@@ -199,7 +199,16 @@ class FuncPipeline:
         return any(stage.func.schedule.compute in ("root", "at")
                    for stage in self.stages)
 
-    def _lowering_key(self, frame_shape: tuple[int, ...]) -> tuple:
+    def _lowering_key(self, frame_shape: tuple[int, ...],
+                      include_schedules: bool = True) -> tuple:
+        """Structural identity of this pipeline at one frame shape.
+
+        With ``include_schedules`` (the default) the key distinguishes
+        schedule assignments too — the lowering memo needs that.  Without it
+        the key names the *workload* independent of how it is currently
+        scheduled, which is what the tuning database keys records by (the
+        record's payload is the schedule assignment itself).
+        """
         parts = []
         for stage in self.stages:
             schedule = stage.func.schedule
@@ -209,14 +218,16 @@ class FuncPipeline:
                 reduction_key = (rdom.name, rdom.source, rdom.dimensions,
                                  tuple(e.cached_key() for e in index_exprs),
                                  update.cached_key())
-            parts.append((
+            part = (
                 stage.name, stage.input_name, stage.pad, stage.pad_width,
                 stage.func.name, stage.func.dtype,
                 stage.func.value.cached_key() if stage.func.value is not None
                 else None,
-                reduction_key,
-                schedule.compute, schedule.compute_at,
-                schedule.tile_x, schedule.tile_y, schedule.parallel))
+                reduction_key)
+            if include_schedules:
+                part += (schedule.compute, schedule.compute_at,
+                         schedule.tile_x, schedule.tile_y, schedule.parallel)
+            parts.append(part)
         return (tuple(frame_shape), tuple(parts))
 
     #: Bound on memoized lowerings (per pipeline): serving mixed frame

@@ -187,6 +187,8 @@ class PipelineServer:
                  max_pending: int | None = None,
                  engine: str | None = None,
                  frame_shape: tuple[int, ...] | None = None,
+                 warm_start: bool = True,
+                 store=None,
                  breaker_threshold: int = 3,
                  breaker_cooldown: float = 5.0) -> None:
         if not isinstance(target, (Func, FuncPipeline)):
@@ -211,7 +213,35 @@ class PipelineServer:
         #: the compiled attempt entirely and probe recovery after cooldown.
         self._breaker = CircuitBreaker(threshold=breaker_threshold,
                                        cooldown=breaker_cooldown)
+        #: True when a persisted tuning record supplied the schedules this
+        #: server compiled with (zero timed candidate evaluations).
+        self.warm_started = False
+        if warm_start and frame_shape is not None:
+            self.warm_started = self._warm_start(tuple(frame_shape), store)
         self._warm_compile(frame_shape)
+
+    def _warm_start(self, frame_shape: tuple[int, ...], store) -> bool:
+        """Apply this machine's best known schedules before compiling.
+
+        Consults the persistent tuning database
+        (:mod:`repro.halide.tuningdb`) for this target + frame shape; a hit
+        replaces the target's schedules with the measured winner at zero
+        timing cost.  Any miss — no record, foreign machine, corrupt blob —
+        leaves the target's current schedules untouched, and a broken store
+        must never break serving.
+        """
+        try:
+            from .tuningdb import warm_start_func, warm_start_pipeline
+
+            if isinstance(self.target, FuncPipeline):
+                record = warm_start_pipeline(self.target, frame_shape,
+                                             store=store)
+            else:
+                record = warm_start_func(self.target, frame_shape,
+                                         store=store)
+        except Exception:
+            return False
+        return record is not None
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -67,7 +67,7 @@ def _pad_plane(plane: np.ndarray, pad: int) -> np.ndarray:
 PS_PADDED_FILTERS = ("blur", "blur_more", "sharpen", "sharpen_more",
                      "box_blur", "sharpen_edges", "despeckle")
 #: Same for IrfanView's interleaved kernels.
-IV_PADDED_FILTERS = ("blur", "sharpen")
+IV_PADDED_FILTERS = ("blur", "sharpen", "emboss")
 
 
 def reduction_output_shape(result: LiftResult, kernel,

@@ -62,15 +62,26 @@ def serve_lifted(result: LiftResult, frames: Sequence[np.ndarray], *,
                  max_pending: int | None = None,
                  engine: str | None = None,
                  deadline: float | None = None,
-                 retries: int | None = None) -> BatchResult:
+                 retries: int | None = None,
+                 warm_start: bool = True,
+                 store=None) -> BatchResult:
     """Serve a batch of frames through one lifted kernel, compile-once.
 
     The end of the lift-and-serve path: ``LiftSession.run()`` (cold or warm)
     produces the ``result``; this compiles its kernel a single time inside
     :class:`PipelineServer` and realizes every frame across the worker pool,
-    returning the batch outputs plus per-request timing.
+    returning the batch outputs plus per-request timing.  The server is
+    handed the batch's frame shape so a persisted tuning record for this
+    kernel + shape (``python -m repro tune``) warm-starts the schedule at
+    zero timing cost; ``warm_start=False`` serves with the lifted schedule
+    as-is.
     """
     func, requests = make_serve_requests(result, frames)
-    with PipelineServer(func, max_pending=max_pending, engine=engine) as server:
+    # Request shapes are x-first (innermost-first); the tuning database and
+    # PipelineServer speak NumPy (outermost-first) order.
+    frame_shape = tuple(reversed(requests[0]["shape"]))
+    with PipelineServer(func, max_pending=max_pending, engine=engine,
+                        frame_shape=frame_shape, warm_start=warm_start,
+                        store=store) as server:
         return server.realize_batch(requests, deadline=deadline,
                                     retries=retries)

@@ -3,9 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.halide import (FuncPipeline, FusedPipeline, Func, Var, autotune,
-                          autotune_pipeline, configure_pool, execution_stats,
-                          realize, reset_execution_stats)
+from repro.halide import (FuncPipeline, FusedPipeline, Func, Schedule, Var,
+                          autotune, autotune_pipeline, configure_pool,
+                          execution_stats, realize, reset_execution_stats)
 from repro.ir import BinOp, BufferAccess, Cast, Const, Op, UINT8, UINT32
 
 
@@ -30,7 +30,14 @@ class TestAutotune:
         padded = rng.integers(0, 256, size=(34, 66), dtype=np.uint8)
         func = blur_func()
         result = autotune(func, (64, 32), {"input_1": padded}, iterations=4, seed=1)
-        assert result.evaluations == 5
+        # The cost model times the baseline plus at most top_k sampled
+        # candidates (deduped), never the whole sampled set.
+        assert 1 <= result.evaluations <= 6
+        assert result.evaluations == len(result.history)
+        # The baseline (default schedule) is always timed first.
+        assert result.history[0][0].describe() == Schedule().describe()
+        # The full deduped candidate set was ranked analytically.
+        assert len(result.ranked) >= result.evaluations
         assert result.best_time > 0
         assert func.schedule is result.best_schedule
         assert result.best_time == min(t for _, t in result.history)
@@ -69,6 +76,35 @@ class TestAutotune:
         finally:
             configure_pool()
 
+    def test_single_worker_pool_proposes_no_parallel_candidates(self):
+        """Candidate sampling is filtered against the live pool width: a
+        1-worker pool must never propose a parallel schedule (which
+        ``parallel_unsupported_reason`` would only reject at realize time),
+        nor force tiles onto the draw to back a parallelism that cannot
+        run."""
+        from repro.halide.autotune import _sample_schedule
+
+        configure_pool(1)
+        try:
+            import random
+
+            samples = [_sample_schedule(random.Random(seed))
+                       for seed in range(32)]
+            assert not any(s.parallel for s in samples)
+            # Without the pool filter, roughly half the draws would have
+            # tiles forced on; untiled draws must survive untouched.
+            assert any(s.tile_x == 0 and s.tile_y == 0 for s in samples)
+
+            rng = np.random.default_rng(6)
+            padded = rng.integers(0, 256, size=(34, 66), dtype=np.uint8)
+            func = blur_func()
+            result = autotune(func, (64, 32), {"input_1": padded},
+                              iterations=12, seed=7, top_k=None)
+            assert all(not schedule.parallel
+                       for schedule, _ in result.history)
+        finally:
+            configure_pool()
+
 
 class TestAutotunePipeline:
     def _pipeline(self):
@@ -93,9 +129,12 @@ class TestAutotunePipeline:
         image = rng.integers(0, 256, size=(48, 64), dtype=np.uint8)
         pipeline = self._pipeline()
         result = autotune_pipeline(pipeline, image, iterations=12, seed=2)
-        assert result.evaluations == 13
+        # Baseline + at most top_k survivors are timed; the rest of the
+        # sampled set is ranked analytically only.
+        assert 1 <= result.evaluations <= 6
+        assert result.evaluations == len(result.history)
         assert result.best_time == min(t for _, t in result.history)
-        described = [" ".join(stage_descs) for stage_descs, _ in result.history]
+        described = [" ".join(score.describe) for score in result.ranked]
         assert any("compute_at(by,x_1)" in d for d in described), \
             "no compute_at candidate sampled"
         assert any("compute_root" in d for d in described)

@@ -1,0 +1,227 @@
+"""Property suite for the schedule cost model (:mod:`repro.halide.costmodel`).
+
+Three properties carry the autotuner's correctness:
+
+* **Determinism** — features and costs are pure functions of pipeline
+  structure + frame shape + pool config; extracting twice (or in a fresh
+  subprocess with a different ``PYTHONHASHSEED``) yields identical values.
+* **Stable total ordering** — ranking the same candidate set twice, in any
+  hash-seed regime, produces the same order (ties break on the candidates'
+  describe strings, then on stable-sort input order — never on ``id()`` or
+  dict iteration).
+* **Demoted never outranks valid** — any candidate the lowering demotes (or
+  that requests parallelism without a legal decomposition) sorts after
+  every fully-honoured candidate, whatever its modelled cost.
+"""
+
+import os
+import pickle
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.halide import Func, FuncPipeline, Schedule, Var
+from repro.halide.costmodel import (
+    extract_pipeline_features,
+    rank_pipeline_candidates,
+    score_features,
+)
+from repro.ir import BinOp, BufferAccess, Cast, Const, Op, UINT8, UINT32
+
+
+def _stencil_func(name: str, source: str, taps: int) -> Func:
+    """A horizontal ``taps``-wide stencil over ``source`` (pad 1 assumed)."""
+    x, y = Var("x_0"), Var("x_1")
+    expr = None
+    for dx in range(taps):
+        tap = Cast(UINT32, BufferAccess(
+            source, [BinOp(Op.ADD, x, Const(dx)),
+                     BinOp(Op.ADD, y, Const(1))], UINT8))
+        expr = tap if expr is None else BinOp(Op.ADD, expr, tap, UINT32)
+    out = Cast(UINT8, BinOp(Op.SHR, expr, Const(1, UINT32), UINT32))
+    return Func(name, [x, y], dtype=UINT8).define(out)
+
+
+def _two_stage_pipeline() -> FuncPipeline:
+    pipeline = FuncPipeline()
+    pipeline.add(_stencil_func("blur1d", "input_1", 3),
+                 input_name="input_1", pad=1, name="bx")
+    pipeline.add(_stencil_func("by", "bx_buf", 3),
+                 input_name="bx_buf", pad=1, name="by")
+    return pipeline
+
+
+# Schedules drawn from the same atoms the autotuner samples, plus a few the
+# sampler never emits (bogus anchors) so demotion handling is exercised.
+_TILES = st.sampled_from((0, 8, 32, 128))
+
+
+@st.composite
+def _schedules(draw, stage_names=("by",), allow_bogus_anchor=False):
+    anchors = [(name, "x_1") for name in stage_names]
+    if allow_bogus_anchor:
+        anchors.append(("nonexistent", "x_9"))
+    levels = ("default", "root", "at") if anchors else ("default", "root")
+    compute = draw(st.sampled_from(levels))
+    schedule = Schedule(tile_x=draw(_TILES), tile_y=draw(_TILES),
+                        vectorize=True,
+                        parallel=draw(st.booleans()),
+                        fuse_producers=draw(st.booleans()))
+    if compute == "at":
+        schedule.compute = "at"
+        schedule.compute_at = draw(st.sampled_from(anchors))
+    elif compute == "root":
+        schedule.compute = "root"
+    return schedule
+
+
+@st.composite
+def _candidate_sets(draw):
+    """A pipeline candidate set: per-candidate (producer, output) schedules."""
+    count = draw(st.integers(min_value=2, max_value=6))
+    candidates = []
+    for _ in range(count):
+        producer = draw(_schedules(stage_names=("by",),
+                                   allow_bogus_anchor=True))
+        output = draw(_schedules(stage_names=()))
+        if output.compute == "at":     # the output stage cannot compute_at
+            output.compute, output.compute_at = "root", None
+        candidates.append([producer, output])
+    return candidates
+
+
+FRAME_SHAPES = st.sampled_from(((48, 64), (96, 128), (37, 53)))
+
+
+class TestDeterminism:
+    @given(candidates=_candidate_sets(), frame_shape=FRAME_SHAPES)
+    @settings(max_examples=40, deadline=None)
+    def test_features_and_costs_are_deterministic(self, candidates,
+                                                  frame_shape):
+        pipeline = _two_stage_pipeline()
+        first = rank_pipeline_candidates(pipeline, frame_shape, candidates)
+        second = rank_pipeline_candidates(pipeline, frame_shape, candidates)
+        assert [s.index for s in first] == [s.index for s in second]
+        assert [s.cost for s in first] == [s.cost for s in second]
+        assert [s.features for s in first] == [s.features for s in second]
+
+    @given(candidates=_candidate_sets(), frame_shape=FRAME_SHAPES)
+    @settings(max_examples=40, deadline=None)
+    def test_ranking_does_not_mutate_the_pipeline(self, candidates,
+                                                  frame_shape):
+        pipeline = _two_stage_pipeline()
+        before = [stage.func.schedule for stage in pipeline.stages]
+        rank_pipeline_candidates(pipeline, frame_shape, candidates)
+        assert [stage.func.schedule for stage in pipeline.stages] == before
+
+    @given(candidates=_candidate_sets(), frame_shape=FRAME_SHAPES)
+    @settings(max_examples=40, deadline=None)
+    def test_cost_is_score_of_features(self, candidates, frame_shape):
+        pipeline = _two_stage_pipeline()
+        for score in rank_pipeline_candidates(pipeline, frame_shape,
+                                              candidates):
+            assert score.cost == score_features(score.features)
+            assert score.cost >= 0.0
+
+
+class TestStableOrdering:
+    def test_order_survives_hash_seed_change(self, tmp_path):
+        """The ranking is identical in a subprocess with a different
+        ``PYTHONHASHSEED`` — no dict-order or hash-seed dependence."""
+        candidates = []
+        for tile in (0, 8, 32, 128):
+            for compute in ("default", "root", "at"):
+                producer = Schedule(tile_x=tile, tile_y=tile)
+                if compute == "at":
+                    producer.compute = "at"
+                    producer.compute_at = ("by", "x_1")
+                elif compute == "root":
+                    producer.compute = "root"
+                output = Schedule(tile_x=tile, tile_y=tile, compute="root")
+                candidates.append([producer, output])
+        frame_shape = (48, 64)
+        local = rank_pipeline_candidates(_two_stage_pipeline(), frame_shape,
+                                         candidates)
+        blob = tmp_path / "candidates.pkl"
+        blob.write_bytes(pickle.dumps((frame_shape, candidates)))
+        out = tmp_path / "ranked.pkl"
+        script = (
+            "import pickle, sys\n"
+            "from test_costmodel import _two_stage_pipeline\n"
+            "from repro.halide.costmodel import rank_pipeline_candidates\n"
+            f"frame_shape, candidates = pickle.load(open({str(blob)!r}, 'rb'))\n"
+            "ranked = rank_pipeline_candidates(_two_stage_pipeline(),"
+            " frame_shape, candidates)\n"
+            f"pickle.dump([(s.index, s.cost, s.demotions) for s in ranked],"
+            f" open({str(out)!r}, 'wb'))\n")
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = "271828"
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.getcwd(), "src"), os.path.dirname(__file__),
+             env.get("PYTHONPATH", "")])
+        subprocess.run([sys.executable, "-c", script], check=True, env=env)
+        remote = pickle.loads(out.read_bytes())
+        assert [(s.index, s.cost, s.demotions) for s in local] == remote
+
+    @given(candidates=_candidate_sets(), frame_shape=FRAME_SHAPES)
+    @settings(max_examples=40, deadline=None)
+    def test_sort_key_is_a_total_order_over_the_output(self, candidates,
+                                                       frame_shape):
+        ranked = rank_pipeline_candidates(_two_stage_pipeline(), frame_shape,
+                                          candidates)
+        keys = [s.sort_key for s in ranked]
+        assert keys == sorted(keys)
+
+
+class TestDemotionOrdering:
+    @given(candidates=_candidate_sets(), frame_shape=FRAME_SHAPES)
+    @settings(max_examples=60, deadline=None)
+    def test_demoted_never_outranks_valid(self, candidates, frame_shape):
+        ranked = rank_pipeline_candidates(_two_stage_pipeline(), frame_shape,
+                                          candidates)
+        demotions = [s.demotions for s in ranked]
+        # Zero-demotion candidates form a prefix: once a demoted candidate
+        # appears, no valid one may follow it.
+        seen_demoted = False
+        for count in demotions:
+            if count > 0:
+                seen_demoted = True
+            elif seen_demoted:
+                pytest.fail(f"valid candidate ranked below a demoted one: "
+                            f"{demotions}")
+
+    def test_bogus_anchor_counts_as_demotion(self):
+        """A compute_at anchored in a nonexistent consumer is demoted by the
+        lowering and must rank below an honoured compute_at."""
+        good = [Schedule(compute="at", compute_at=("by", "x_1")),
+                Schedule(tile_x=32, tile_y=32, compute="root")]
+        bogus = [Schedule(compute="at", compute_at=("nonexistent", "x_9")),
+                 Schedule(tile_x=32, tile_y=32, compute="root")]
+        ranked = rank_pipeline_candidates(_two_stage_pipeline(), (48, 64),
+                                          [bogus, good])
+        assert ranked[0].index == 1
+        assert ranked[0].demotions == 0
+        assert ranked[-1].index == 0
+        assert ranked[-1].demotions >= 1
+
+    def test_parallel_without_decomposition_is_demoted_for_funcs(self):
+        from repro.halide.costmodel import rank_func_candidates
+        from repro.halide.parallel import configure_pool
+
+        func = _stencil_func("blur1d", "input_1", 3)
+        configure_pool(4)
+        try:
+            untiled_parallel = Schedule(parallel=True)   # no tiles: no units
+            tiled_parallel = Schedule(tile_x=32, tile_y=32, parallel=True)
+            ranked = rank_func_candidates(func, (64, 96),
+                                          [untiled_parallel, tiled_parallel])
+        finally:
+            configure_pool()
+        by_index = {score.index: score for score in ranked}
+        assert by_index[0].demotions == 1
+        assert by_index[1].demotions == 0
+        assert ranked[0].index == 1

@@ -227,8 +227,11 @@ class TestAutotuneReductions:
 
         func = _reduction_stage("input_1")
         result = autotune(func, tuple(reversed(image.shape)),
-                          {"input_1": image}, iterations=6, seed=1)
-        assert result.evaluations == 7
+                          {"input_1": image}, iterations=6, seed=1,
+                          top_k=None)
+        # Deduped candidates, baseline first; top_k=None times them all.
+        assert 2 <= result.evaluations <= 7
+        assert result.evaluations == len(result.history)
         # Candidates draw strips (tile_y) but never pure tiles (tile_x).
         assert all(schedule.tile_x == 0
                    for schedule, _ in result.history[1:])

@@ -33,7 +33,8 @@ def irfanview():
 PHOTOSHOP_FILTERS = ["invert", "blur", "blur_more", "sharpen", "sharpen_more",
                      "threshold", "box_blur", "brightness", "equalize",
                      "sharpen_edges", "despeckle", "column_sum"]
-IRFANVIEW_FILTERS = ["invert", "solarize", "blur", "sharpen", "equalize"]
+IRFANVIEW_FILTERS = ["invert", "solarize", "blur", "sharpen", "emboss",
+                     "equalize"]
 
 
 class TestPhotoshopLifting:

@@ -1,0 +1,165 @@
+"""Round-trip, restart and isolation tests for the persistent tuning DB.
+
+The tuning database (:mod:`repro.halide.tuningdb`) stores measured schedule
+winners in the artifact store's ``tuning/`` stage.  Three guarantees matter:
+
+* records survive pickle round-trips and store restarts (a new
+  :class:`ArtifactStore` over the same directory);
+* a corrupted tuning blob is quarantined by the store's own read path
+  (PR-6 machinery) and reads as a clean miss, so the autotuner falls back
+  to live tuning instead of failing;
+* a record measured on a different machine is a clean miss, never a
+  wrong-schedule hit.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.halide import Func, Schedule, Var, autotune
+from repro.halide.autotune import reset_tuner_stats, tuner_stats
+from repro.halide.tuningdb import (
+    TuningDatabase,
+    TuningRecord,
+    func_workload,
+    machine_fingerprint,
+    tuning_key,
+    tuning_manifest_is_current,
+)
+from repro.ir import BinOp, BufferAccess, Cast, Const, Op, UINT8, UINT32
+from repro.store import ArtifactStore
+
+
+def _blur_func() -> Func:
+    x, y = Var("x_0"), Var("x_1")
+    expr = None
+    for dx in range(3):
+        tap = Cast(UINT32, BufferAccess(
+            "input_1", [BinOp(Op.ADD, x, Const(dx)),
+                        BinOp(Op.ADD, y, Const(1))], UINT8))
+        expr = tap if expr is None else BinOp(Op.ADD, expr, tap, UINT32)
+    out = Cast(UINT8, BinOp(Op.SHR, expr, Const(1, UINT32), UINT32))
+    return Func("blur1d", [x, y], dtype=UINT8).define(out)
+
+
+def _record(schedule: Schedule | None = None) -> TuningRecord:
+    return TuningRecord(
+        schedules=[schedule or Schedule(tile_x=32, tile_y=32)],
+        best_time=0.0042, evaluations=4,
+        history=[("tile(32,32).vectorize", 0.0042)])
+
+
+WORKLOAD = ("func", "blur1d", "uint8", None, None, (64, 96))
+
+
+class TestRoundTrip:
+    def test_record_survives_pickle(self):
+        record = _record()
+        clone = pickle.loads(pickle.dumps(record))
+        assert clone.valid_for(1)
+        assert clone.schedules[0] == record.schedules[0]
+        assert clone.best_time == record.best_time
+        assert clone.machine == machine_fingerprint()
+
+    def test_record_survives_store_restart(self, tmp_path):
+        db = TuningDatabase(ArtifactStore(tmp_path))
+        db.record(WORKLOAD, _record())
+        # A brand-new store over the same directory (fresh process model).
+        reopened = TuningDatabase(ArtifactStore(tmp_path))
+        found = reopened.lookup(WORKLOAD)
+        assert found is not None
+        assert found.valid_for(1)
+        assert found.schedules[0].tile_x == 32
+        assert found.created          # stamped at record() time
+
+    def test_workload_key_is_stable_across_processes(self):
+        # Same workload, same machine -> same digest (content-addressed,
+        # no id()/hash-seed leakage through the canonical JSON).
+        first = tuning_key(WORKLOAD)
+        second = tuning_key(tuple(WORKLOAD))
+        assert first.digest == second.digest
+        assert first.describe()["workload"][1] == "blur1d"
+
+    def test_func_workload_ignores_current_schedule(self):
+        func = _blur_func()
+        cold = func_workload(func, (64, 96))
+        func.schedule = Schedule(tile_x=128, tile_y=8, parallel=True)
+        assert func_workload(func, (64, 96)) == cold
+
+    def test_entries_and_evict(self, tmp_path):
+        db = TuningDatabase(ArtifactStore(tmp_path))
+        db.record(WORKLOAD, _record())
+        db.record(("func", "other", "uint8", None, None, (32, 32)),
+                  _record())
+        assert len(db.entries()) == 2
+        assert all(tuning_manifest_is_current(m) for m in db.entries())
+        assert db.evict() == 2
+        assert db.entries() == []
+        assert db.lookup(WORKLOAD) is None
+
+
+class TestIsolation:
+    def test_corrupt_blob_quarantines_and_misses(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        db = TuningDatabase(store)
+        db.record(WORKLOAD, _record())
+        blob = store.root / "tuning" / f"{tuning_key(WORKLOAD).digest}.pkl"
+        blob.write_bytes(b"\x80\x04 this is not a pickle")
+        assert db.lookup(WORKLOAD) is None
+        assert store.stats()["quarantined"] >= 1
+        quarantined = list(store.quarantine_root.iterdir())
+        assert any(p.name.startswith("tuning__") for p in quarantined)
+
+    def test_corrupt_blob_falls_back_to_live_tuning(self, tmp_path):
+        """After corruption the autotuner tunes live (search, not a DB hit)
+        and re-persists a fresh record over the quarantined one."""
+        store = ArtifactStore(tmp_path)
+        func = _blur_func()
+        padded = np.random.default_rng(0).integers(
+            0, 256, size=(66, 98), dtype=np.uint8)
+        autotune(func, (96, 64), {"input_1": padded}, iterations=4, seed=1,
+                 store=store)
+        workload = func_workload(func, (64, 96))
+        blob = store.root / "tuning" / f"{tuning_key(workload).digest}.pkl"
+        blob.write_bytes(b"garbage")
+        reset_tuner_stats()
+        result = autotune(_blur_func(), (96, 64), {"input_1": padded},
+                          iterations=4, seed=1, store=store)
+        assert result.source == "search"
+        assert tuner_stats["db_hits"] == 0
+        assert tuner_stats["timed_evaluations"] == result.evaluations > 0
+        # The fresh winner replaced the corrupt record.
+        assert TuningDatabase(store).lookup(workload) is not None
+
+    def test_foreign_machine_is_a_clean_miss(self, tmp_path, monkeypatch):
+        store = ArtifactStore(tmp_path)
+        db = TuningDatabase(store)
+        db.record(WORKLOAD, _record())
+        assert db.lookup(WORKLOAD) is not None
+        monkeypatch.setattr("repro.halide.tuningdb.machine_fingerprint",
+                            lambda: {"machine": "sparc64", "system": "Zeta",
+                                     "cpus": 512})
+        assert db.lookup(WORKLOAD) is None
+
+    def test_wrong_stage_count_is_a_miss_for_warm_start(self, tmp_path):
+        record = _record()
+        assert record.valid_for(1)
+        assert not record.valid_for(2)
+        record.schedules = "not-a-list"
+        assert not record.valid_for(1)
+
+    def test_prune_keeps_tuning_records(self, tmp_path):
+        """`cache prune` treats live tuning records as current even though
+        they are outside the lift-stage version chain."""
+        from repro.core.stages import STAGE_VERSIONS, STAGES
+        from repro.store import manifest_is_current
+
+        store = ArtifactStore(tmp_path)
+        TuningDatabase(store).record(WORKLOAD, _record())
+        removed = store.prune(
+            lambda manifest: manifest_is_current(manifest, STAGE_VERSIONS,
+                                                 STAGES)
+            or tuning_manifest_is_current(manifest))
+        assert removed == 0
+        assert TuningDatabase(store).lookup(WORKLOAD) is not None
