@@ -31,7 +31,7 @@ import statistics
 import sys
 from pathlib import Path
 
-DEFAULT_PREFIXES = ("fig8_", "fig10_", "lift_cache/")
+DEFAULT_PREFIXES = ("fig8_", "fig10_", "fig11_", "lift_cache/")
 DEFAULT_THRESHOLD = 0.30
 #: Median calibration needs at least this many compared keys: with two, the
 #: median of two ratios splits the difference and a genuine regression in

@@ -40,7 +40,7 @@ from dataclasses import dataclass, field, replace
 
 from .costmodel import (CandidateScore, rank_func_candidates,
                         rank_pipeline_candidates)
-from .func import Func, Schedule
+from .func import Func, Schedule, vectorize_width
 from .parallel import parallel_enabled, pool_size, warm_pool
 from .realize import realize
 from .tuningdb import (TuningDatabase, TuningRecord, func_workload,
@@ -48,6 +48,11 @@ from .tuningdb import (TuningDatabase, TuningRecord, func_workload,
 
 _TILE_CHOICES = (0, 8, 16, 32, 64, 128)
 _NONZERO_TILES = tuple(t for t in _TILE_CHOICES if t)
+
+#: Vectorize draws: ``True`` is the default width, integers are explicit
+#: SIMD split widths (only the native backend distinguishes them; the NumPy
+#: engines ignore the directive either way).
+_VECTORIZE_CHOICES = (True, 4, 8, 16)
 
 #: Default cap on live-timed *sampled* candidates per session (the baseline
 #: schedule is always timed on top, so a session runs at most ``top_k + 1``
@@ -127,7 +132,8 @@ def _sample_schedule(rng: random.Random) -> Schedule:
     if want_parallel:
         tile_x = tile_x or rng.choice(_NONZERO_TILES)
         tile_y = tile_y or rng.choice(_NONZERO_TILES)
-    return Schedule(tile_x=tile_x, tile_y=tile_y, vectorize=True,
+    return Schedule(tile_x=tile_x, tile_y=tile_y,
+                    vectorize=rng.choice(_VECTORIZE_CHOICES),
                     parallel=want_parallel,
                     fuse_producers=rng.random() < 0.8)
 
@@ -143,7 +149,8 @@ def _sample_reduction_schedule(rng: random.Random) -> Schedule:
     """
     strip = rng.choice(_TILE_CHOICES)
     want_parallel = rng.random() < 0.5 and _pool_allows_parallel()
-    return Schedule(tile_x=0, tile_y=strip, vectorize=True,
+    return Schedule(tile_x=0, tile_y=strip,
+                    vectorize=rng.choice(_VECTORIZE_CHOICES),
                     parallel=want_parallel)
 
 
@@ -168,9 +175,11 @@ def _schedule_key(schedule: Schedule) -> tuple:
     ``describe()`` is deliberately lossy (a ``tile_y``-only reduction strip
     reads the same as the default), so dedupe must compare fields, not
     descriptions — otherwise distinct strip heights collapse into one
-    candidate.
+    candidate.  The vectorize flag is folded to its effective SIMD width so
+    distinct widths stay distinct while ``True`` and the explicit default
+    width (which lower to the same program) collapse.
     """
-    return (schedule.tile_x, schedule.tile_y, schedule.vectorize,
+    return (schedule.tile_x, schedule.tile_y, vectorize_width(schedule),
             schedule.parallel, schedule.fuse_producers, schedule.compute,
             schedule.compute_at)
 
@@ -206,7 +215,8 @@ def autotune(func: Func, shape, buffers, params=None, iterations: int = 10,
     params = params or {}
     np_shape = tuple(reversed(tuple(int(d) for d in shape)))
     if store is not None and reuse:
-        record = TuningDatabase(store).lookup(func_workload(func, np_shape))
+        record = TuningDatabase(store).lookup(func_workload(func, np_shape),
+                                              engine=engine)
         if record is not None and record.valid_for(1):
             func.schedule = replace(record.schedules[0])
             tuner_stats["db_hits"] += 1
@@ -222,7 +232,7 @@ def autotune(func: Func, shape, buffers, params=None, iterations: int = 10,
     candidates = [Schedule()] + [sampler(rng) for _ in range(iterations)]
     candidates = _dedupe(candidates, _schedule_key)
     scores = rank_func_candidates(func, np_shape, candidates,
-                                  buffers=buffers)
+                                  buffers=buffers, backend=engine)
     history: list[tuple[Schedule, float]] = []
     best_schedule, best_time = None, float("inf")
     for index in _select_timed(scores, top_k):
@@ -245,7 +255,8 @@ def autotune(func: Func, shape, buffers, params=None, iterations: int = 10,
             history=[(s.describe(), t) for s, t in history],
             pool_width=pool_size(),
             engine=engine or "default")
-        TuningDatabase(store).record(func_workload(func, np_shape), record)
+        TuningDatabase(store).record(func_workload(func, np_shape), record,
+                                     engine=engine)
         tuner_stats["db_stores"] += 1
     return result
 
@@ -347,7 +358,7 @@ def autotune_pipeline(pipeline, image, params=None, iterations: int = 10,
     frame_shape = tuple(int(d) for d in image.shape)
     if store is not None and reuse:
         record = TuningDatabase(store).lookup(
-            pipeline_workload(pipeline, frame_shape))
+            pipeline_workload(pipeline, frame_shape), engine=engine)
         if record is not None and record.valid_for(len(pipeline.stages)):
             best = [replace(s) for s in record.schedules]
             _apply_schedules(pipeline, best)
@@ -363,7 +374,8 @@ def autotune_pipeline(pipeline, image, params=None, iterations: int = 10,
                                for _ in range(iterations)]
     candidates = _dedupe(candidates,
                          lambda ss: tuple(_schedule_key(s) for s in ss))
-    scores = rank_pipeline_candidates(pipeline, frame_shape, candidates)
+    scores = rank_pipeline_candidates(pipeline, frame_shape, candidates,
+                                      backend=engine)
     history: list[tuple[tuple[str, ...], float]] = []
     best_schedules, best_time = None, float("inf")
     for index in _select_timed(scores, top_k):
@@ -388,6 +400,6 @@ def autotune_pipeline(pipeline, image, params=None, iterations: int = 10,
             pool_width=pool_size(),
             engine=engine or "default")
         TuningDatabase(store).record(
-            pipeline_workload(pipeline, frame_shape), record)
+            pipeline_workload(pipeline, frame_shape), record, engine=engine)
         tuner_stats["db_stores"] += 1
     return result

@@ -1,24 +1,31 @@
 """Execution backends behind a common interface.
 
-Every engine — the tree-walking interpreter (the bit-exactness oracle) and
-the compiled fused-NumPy engine — implements :class:`Backend`: whole-Func
-realization plus a region evaluator, which is the primitive the shared
-lowered-IR executor (:meth:`Backend.execute`) calls for every
-:class:`~repro.ir.stmt.Store` in a lowered pipeline.  Both backends are
-therefore *consumers of the same lowered loop nest*: scheduling decisions
-(compute_root / compute_at, tiling, parallel tiles) live in the
-:class:`~repro.halide.lower.LoweredPipeline`, not in the engines, and any
-future backend (C, LLVM, GPU) plugs in by implementing the same two
-primitives.
+Every engine — the tree-walking interpreter (the bit-exactness oracle),
+the compiled fused-NumPy engine, and the native whole-nest C engine —
+implements :class:`Backend`: whole-Func realization plus a region
+evaluator, which is the primitive the shared lowered-IR executor
+(:meth:`Backend.execute`) calls for every :class:`~repro.ir.stmt.Store`
+in a lowered pipeline.  All backends are therefore *consumers of the same
+lowered loop nest*: scheduling decisions (compute_root / compute_at,
+tiling, parallel tiles, vectorize) live in the
+:class:`~repro.halide.lower.LoweredPipeline`, not in the engines.
+
+The native backend (:mod:`.native` + :mod:`.cgen`) demonstrates the plug
+point for ahead-of-time codegen: it overrides :meth:`Backend.execute` to
+run whole C-compiled segments (GIL released) and degrades per frame to
+the compiled engine — bit-identically — whenever a toolchain or cffi is
+missing, so it is safe to select unconditionally.
 """
 
 from .base import Backend
 from .compiled import CompiledBackend
 from .interp import InterpBackend
+from .native import NativeBackend
 
 _BACKENDS: dict[str, Backend] = {
     "interp": InterpBackend(),
     "compiled": CompiledBackend(),
+    "native": NativeBackend(),
 }
 
 
@@ -35,5 +42,5 @@ def get_backend(name: str) -> Backend:
     return backend
 
 
-__all__ = ["Backend", "CompiledBackend", "InterpBackend", "backend_names",
-           "get_backend"]
+__all__ = ["Backend", "CompiledBackend", "InterpBackend", "NativeBackend",
+           "backend_names", "get_backend"]

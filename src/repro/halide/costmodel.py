@@ -46,6 +46,24 @@ MEM_WEIGHT = 6.0            #: per byte of a memory-resident intermediate
 CACHE_WEIGHT = 0.5          #: per byte of a cache-resident intermediate
 CACHE_RESIDENT_BYTES = 256 * 1024   #: L2-ish residency threshold
 COST_TILE_DISPATCH = 400.0  #: per tile dispatched (slicing/loop overhead)
+
+#: Per-backend tile-dispatch cost.  The NumPy engines pay Python-level
+#: slicing, kernel-cache lookup and ufunc setup per Store; the native
+#: backend's per-tile cost is a single GIL-released C call, so small tiles
+#: stop being over-penalized there.  The interpreter re-walks the whole
+#: expression tree per tile on top of the NumPy overheads.
+COST_TILE_DISPATCH_BY_BACKEND = {
+    "interp": 800.0,
+    "compiled": COST_TILE_DISPATCH,
+    "native": 40.0,
+}
+
+
+def tile_dispatch_cost(backend: str | None = None) -> float:
+    """The per-tile dispatch weight for one backend (default: compiled)."""
+    if backend is None:
+        return COST_TILE_DISPATCH
+    return COST_TILE_DISPATCH_BY_BACKEND.get(backend, COST_TILE_DISPATCH)
 COST_SCRATCH_REFILL = 300.0  #: per compute_at scratch refill (pad + setup)
 COST_TASK_SPAWN = 1500.0    #: per parallel work item offered to the pool
 PARALLEL_EFFICIENCY = 0.75  #: marginal speedup per extra worker
@@ -337,8 +355,14 @@ def extract_func_features(func: Func, np_shape: Sequence[int],
 # ---------------------------------------------------------------------------
 
 
-def score_features(features: Sequence[StageFeatures]) -> float:
-    """Total modelled cost of one candidate (lower is better)."""
+def score_features(features: Sequence[StageFeatures],
+                   backend: str | None = None) -> float:
+    """Total modelled cost of one candidate (lower is better).
+
+    ``backend`` selects the per-tile dispatch weight
+    (:func:`tile_dispatch_cost`); all other terms are backend-independent.
+    """
+    dispatch = tile_dispatch_cost(backend)
     total = 0.0
     for f in features:
         compute = f.points * f.work_per_point * COST_POINT
@@ -350,7 +374,7 @@ def score_features(features: Sequence[StageFeatures]) -> float:
             weight = MEM_WEIGHT if f.resident_bytes > CACHE_RESIDENT_BYTES \
                 else CACHE_WEIGHT
             total += f.points * f.bytes_per_point * weight
-        total += f.tile_count * COST_TILE_DISPATCH
+        total += f.tile_count * dispatch
         total += f.refills * COST_SCRATCH_REFILL
         if f.reduction_strips > 1.0:
             # Each partial accumulator is merged serially element by element.
@@ -361,12 +385,14 @@ def score_features(features: Sequence[StageFeatures]) -> float:
 
 
 def rank_pipeline_candidates(pipeline, frame_shape: Sequence[int],
-                             candidates: Sequence[Sequence[Schedule]]
+                             candidates: Sequence[Sequence[Schedule]],
+                             backend: str | None = None
                              ) -> list[CandidateScore]:
     """Score per-stage schedule assignments; best (lowest) first.
 
     The pipeline's own schedules are saved and restored around the scoring,
-    so ranking has no observable effect on the pipeline.
+    so ranking has no observable effect on the pipeline.  ``backend``
+    selects the per-tile dispatch weight.
     """
     saved = [stage.func.schedule for stage in pipeline.stages]
     scores: list[CandidateScore] = []
@@ -379,7 +405,7 @@ def rank_pipeline_candidates(pipeline, frame_shape: Sequence[int],
             scores.append(CandidateScore(
                 index=index,
                 describe=tuple(s.describe() for s in schedules),
-                cost=score_features(features),
+                cost=score_features(features, backend),
                 demotions=demotions,
                 features=tuple(features)))
     finally:
@@ -390,7 +416,8 @@ def rank_pipeline_candidates(pipeline, frame_shape: Sequence[int],
 
 def rank_func_candidates(func: Func, np_shape: Sequence[int],
                          candidates: Sequence[Schedule],
-                         buffers=None) -> list[CandidateScore]:
+                         buffers=None,
+                         backend: str | None = None) -> list[CandidateScore]:
     """Single-Func analogue of :func:`rank_pipeline_candidates`."""
     saved = func.schedule
     scores: list[CandidateScore] = []
@@ -402,7 +429,7 @@ def rank_func_candidates(func: Func, np_shape: Sequence[int],
             scores.append(CandidateScore(
                 index=index,
                 describe=(schedule.describe(),),
-                cost=score_features(features),
+                cost=score_features(features, backend),
                 demotions=demotions,
                 features=tuple(features)))
     finally:

@@ -70,6 +70,27 @@ class RDom:
 #: associative-parallel reduction whose schedule carries no ``tile_y``.
 DEFAULT_REDUCTION_STRIP = 64
 
+#: SIMD lanes the native backend strip-mines a vectorized inner loop by when
+#: the schedule says ``vectorize=True`` without an explicit width.
+DEFAULT_VECTORIZE_WIDTH = 8
+
+
+def vectorize_width(schedule: "Schedule") -> int:
+    """The SIMD split width a schedule's ``vectorize`` flag denotes.
+
+    ``True`` means "vectorize at the default width"; an explicit integer
+    ``>= 2`` is a width the autotuner sampled; ``False``/``0``/``1`` mean no
+    inner-loop split (0).  Only the native backend consumes this — the NumPy
+    engines are whole-region vectorized regardless (see
+    :meth:`Schedule.describe`).
+    """
+    flag = schedule.vectorize
+    if flag is True:
+        return DEFAULT_VECTORIZE_WIDTH
+    if isinstance(flag, int) and not isinstance(flag, bool) and flag >= 2:
+        return int(flag)
+    return 0
+
 
 @dataclass
 class Schedule:
@@ -102,13 +123,16 @@ class Schedule:
 
     tile_x: int = 0
     tile_y: int = 0
-    vectorize: bool = True
+    #: ``True`` = vectorize at the default width, an int >= 2 = explicit SIMD
+    #: width (only the native backend splits the inner loop; see
+    #: :func:`vectorize_width`), ``False`` = off.
+    vectorize: "bool | int" = True
     parallel: bool = False
     fuse_producers: bool = True
     compute: str = "default"
     compute_at: Optional[tuple[str, str]] = None
 
-    def describe(self) -> str:
+    def describe(self, backend: Optional[str] = None) -> str:
         """A Halide-style summary of the schedule, honest about untiled
         parallelism.
 
@@ -121,6 +145,11 @@ class Schedule:
         Shape-dependent outcomes of ``compute_at`` — the inferred bounds and
         scratch-buffer sizes — live one level up, in
         :meth:`repro.halide.lower.LoweredPipeline.describe`.
+
+        With ``backend`` the vectorize flag reports per-backend truth: only
+        the native backend actually splits the inner loop by the SIMD width,
+        so other engines report the directive as ignored (they are
+        whole-region vectorized by NumPy regardless of the flag).
         """
         parts = []
         if self.compute == "root":
@@ -130,7 +159,15 @@ class Schedule:
         if self.tile_x and self.tile_y:
             parts.append(f"tile({self.tile_x},{self.tile_y})")
         if self.vectorize:
-            parts.append("vectorize")
+            width = vectorize_width(self)
+            if backend == "native":
+                parts.append(f"vectorize({width})")
+            elif backend is not None:
+                parts.append(f"vectorize(ignored:{backend})")
+            elif self.vectorize is True:
+                parts.append("vectorize")
+            else:
+                parts.append(f"vectorize({width})")
         if self.parallel:
             if self.tile_x and self.tile_y:
                 parts.append("parallel")
@@ -181,8 +218,14 @@ class Func:
         self.schedule.tile_y = tile_y
         return self
 
-    def vectorize(self, enabled: bool = True) -> "Func":
-        """The NumPy realizer always vectorizes; this records intent."""
+    def vectorize(self, enabled: "bool | int" = True) -> "Func":
+        """Request an inner-loop SIMD split on the native backend.
+
+        ``True`` uses :data:`DEFAULT_VECTORIZE_WIDTH`; an explicit integer
+        ``>= 2`` sets the width (the autotuner samples these).  The NumPy
+        engines are whole-region vectorized either way and report the
+        directive as ignored (``Schedule.describe(backend=...)``).
+        """
         self.schedule.vectorize = enabled
         return self
 
@@ -294,8 +337,8 @@ class Func:
             return "the schedule is untiled (call .tile(tx, ty) first)"
         return None
 
-    def execution_mode(self) -> str:
-        """The real execution mode of the compiled engine for this Func.
+    def execution_mode(self, backend: Optional[str] = None) -> str:
+        """The real execution mode of the engines for this Func.
 
         ``"parallel"`` when tiles will be offered to the worker pool,
         ``"serial"`` otherwise — not requested, requested but unsupported, or
@@ -303,11 +346,23 @@ class Func:
         ``REPRO_PARALLEL=0`` kill switch).  Per-call outcomes — the cost
         heuristic can still keep a small realization serial — are tallied in
         :data:`repro.halide.parallel.execution_stats`.
+
+        With a ``backend`` name the mode also reports the vectorize
+        directive honestly: only the native backend emits the SIMD split,
+        so ``execution_mode("native")`` appends ``+vectorize(W)`` while the
+        NumPy engines append ``+vectorize(ignored)``.
         """
+        mode = "serial"
         if self.schedule.parallel and self.parallel_unsupported_reason() is None \
                 and parallel_enabled() and pool_size() >= 2:
-            return "parallel"
-        return "serial"
+            mode = "parallel"
+        if backend is not None and self.schedule.vectorize:
+            width = vectorize_width(self.schedule)
+            if backend == "native":
+                mode += f"+vectorize({width})"
+            else:
+                mode += "+vectorize(ignored)"
+        return mode
 
     def __str__(self) -> str:
         vars_text = ", ".join(v.name for v in self.variables)

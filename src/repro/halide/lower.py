@@ -727,7 +727,8 @@ class _Lowerer:
         clone = Func(name=name, variables=list(ctx.func.variables),
                      value=None, dtype=ctx.func.dtype,
                      inputs=list(ctx.func.inputs),
-                     schedule=Schedule(fuse_producers=False))
+                     schedule=Schedule(fuse_producers=False,
+                                       vectorize=ctx.func.schedule.vectorize))
         clone.reduction = (
             RDom(rdom.name, source=ctx.input_buffer,
                  dimensions=rdom.dimensions),
@@ -924,7 +925,8 @@ class _Lowerer:
                     variables=list(ctx.func.variables),
                     value=canonicalize(expr), dtype=ctx.func.dtype,
                     inputs=list(ctx.func.inputs),
-                    schedule=Schedule(fuse_producers=False))
+                    schedule=Schedule(fuse_producers=False,
+                                      vectorize=ctx.func.schedule.vectorize))
 
     def _variant_funcs(self, ctx: _StageCtx):
         """A memoizing ``func_for(variant)`` over the two store rewrites
@@ -1207,7 +1209,8 @@ def lower_reduction_func(func: Func, out_shape: Sequence[int],
     init_func = Func(name=f"{func.name}.init",
                      variables=list(func.variables), value=init_value,
                      dtype=func.dtype, inputs=list(func.inputs),
-                     schedule=Schedule(fuse_producers=False))
+                     schedule=Schedule(fuse_producers=False,
+                                       vectorize=func.schedule.vectorize))
     init = Store(buffer=out_buffer, offset=(0,) * out_rank, extent=out_shape,
                  func=init_func, eval_origin=(0,) * out_rank, label="init")
     sweep, _description = _reduction_sweep(

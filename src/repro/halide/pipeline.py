@@ -21,7 +21,7 @@ from typing import Callable, Mapping, Sequence
 import numpy as np
 
 from ..ir import BufferAccess, Cast, Expr, canonicalize, substitute
-from .func import Func
+from .func import Func, vectorize_width
 from .realize import realize
 
 
@@ -226,7 +226,8 @@ class FuncPipeline:
                 reduction_key)
             if include_schedules:
                 part += (schedule.compute, schedule.compute_at,
-                         schedule.tile_x, schedule.tile_y, schedule.parallel)
+                         schedule.tile_x, schedule.tile_y, schedule.parallel,
+                         vectorize_width(schedule))
             parts.append(part)
         return (tuple(frame_shape), tuple(parts))
 

@@ -227,8 +227,10 @@ def _apply_binop(op: str, a, b, is_float: bool):
 
 
 #: Engines: "interp" walks the expression tree with NumPy ops (the oracle);
-#: "compiled" lowers the Func to a fused, CSE'd kernel once and caches it.
-ENGINES = ("interp", "compiled")
+#: "compiled" lowers the Func to a fused, CSE'd kernel once and caches it;
+#: "native" compiles the whole lowered loop nest to C (degrading to
+#: "compiled" when no C toolchain is available).
+ENGINES = ("interp", "compiled", "native")
 
 DEFAULT_ENGINE = os.environ.get("REPRO_REALIZE_ENGINE", "compiled")
 

@@ -46,20 +46,27 @@ from .func import Func, Schedule
 TUNING_STAGE = "tuning"
 
 #: Bump to invalidate every stored tuning record (search-space or record
-#: layout changes).
-TUNING_VERSION = 1
+#: layout changes).  v2: fingerprint carries the execution backend, so
+#: native and NumPy records never cross-contaminate.
+TUNING_VERSION = 2
 
 
-def machine_fingerprint() -> dict:
+def machine_fingerprint(engine: str | None = None) -> dict:
     """What makes one machine's timings non-transferable to another.
 
     CPU count is included because the winning schedule's ``parallel`` flag
     and tile sizes depend on the pool width available when it was measured.
+    The execution backend is part of the fingerprint for the same reason:
+    the native backend's per-tile dispatch is orders of magnitude cheaper
+    than the NumPy engines', so a schedule tuned on one is wrong for the
+    other.  ``engine=None`` means the process-wide default engine.
     """
+    from .realize import get_default_engine
     return {
         "machine": platform.machine(),
         "system": platform.system(),
         "cpus": int(os.cpu_count() or 1),
+        "backend": engine if engine is not None else get_default_engine(),
     }
 
 
@@ -174,23 +181,30 @@ class TuningDatabase:
             store = default_store()
         self.store = store
 
-    def lookup(self, workload) -> Optional[TuningRecord]:
-        """The stored record for this workload on this machine, or None.
+    def lookup(self, workload, engine: str | None = None
+               ) -> Optional[TuningRecord]:
+        """The stored record for this workload on this machine/backend.
 
-        A corrupt blob was already quarantined by the store's own read path;
-        a well-formed blob that is not a :class:`TuningRecord` (a foreign
-        artifact under our digest — effectively impossible, but cheap to
-        guard) is likewise a miss.  Either way the caller tunes live.
+        ``engine`` selects which backend's records to consult (default: the
+        process-wide default engine — the fingerprint includes it, so
+        native and NumPy records never cross-contaminate).  A corrupt blob
+        was already quarantined by the store's own read path; a well-formed
+        blob that is not a :class:`TuningRecord` (a foreign artifact under
+        our digest — effectively impossible, but cheap to guard) is
+        likewise a miss.  Either way the caller tunes live.
         """
-        artifact = self.store.get(tuning_key(workload))
+        artifact = self.store.get(
+            tuning_key(workload, machine_fingerprint(engine)))
         if not isinstance(artifact, TuningRecord):
             return None
         return artifact
 
-    def record(self, workload, record: TuningRecord) -> None:
+    def record(self, workload, record: TuningRecord,
+               engine: str | None = None) -> None:
         if not record.created:
             record.created = time.strftime("%Y-%m-%dT%H:%M:%S%z")
-        self.store.put(tuning_key(workload), record)
+        self.store.put(
+            tuning_key(workload, machine_fingerprint(engine)), record)
 
     def entries(self) -> list[dict]:
         """Every tuning manifest in the store (any machine, any version)."""

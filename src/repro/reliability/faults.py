@@ -46,6 +46,7 @@ FAULTS_ENV = "REPRO_FAULTS"
 #: spec error, not a silent no-op — chaos schedules must name real code.
 FAULT_SITES = (
     "compile.kernel",          # kernel codegen raises (repro.halide.compile)
+    "native.compile",          # native C toolchain invocation fails (backends/native.py)
     "kernel.execute",          # compiled whole-kernel execution raises
     "tile.execute",            # one tile's execution raises (parallel.py)
     "pool.die",                # the shared worker pool is shut down under us

@@ -225,3 +225,61 @@ class TestDemotionOrdering:
         assert by_index[0].demotions == 1
         assert by_index[1].demotions == 0
         assert ranked[0].index == 1
+
+
+class TestBackendDispatchCost:
+    """The per-tile dispatch weight is backend-aware: the native backend's
+    tile launch is one GIL-released C call, so the model must charge it far
+    less than the Python-dispatch NumPy engines — and therefore prefer
+    finer tilings under native than under interp."""
+
+    def test_dispatch_cost_ordering(self):
+        from repro.halide.costmodel import (COST_TILE_DISPATCH,
+                                            tile_dispatch_cost)
+
+        assert tile_dispatch_cost("native") < tile_dispatch_cost("compiled")
+        assert tile_dispatch_cost("compiled") < tile_dispatch_cost("interp")
+        assert tile_dispatch_cost(None) == COST_TILE_DISPATCH
+        assert tile_dispatch_cost("compiled") == COST_TILE_DISPATCH
+        # an unknown backend falls back to the default weight, never crashes
+        assert tile_dispatch_cost("riscv-jit") == COST_TILE_DISPATCH
+
+    @staticmethod
+    def _scheduled_features(schedules, frame_shape=(96, 128)):
+        pipeline = _two_stage_pipeline()
+        for stage, schedule in zip(pipeline.stages, schedules):
+            stage.func.schedule = schedule
+        return extract_pipeline_features(pipeline, frame_shape)[0]
+
+    def test_backend_gap_scales_with_tile_count(self):
+        """Every stage pays at least one dispatch, so native always scores
+        <= interp; the gap grows with the number of tiles dispatched."""
+        untiled = self._scheduled_features([Schedule(), Schedule()])
+        tiled = self._scheduled_features(
+            [Schedule(tile_x=8, tile_y=8, compute="root"),
+             Schedule(tile_x=8, tile_y=8, compute="root")])
+        gaps = {}
+        for tag, features in (("untiled", untiled), ("tiled", tiled)):
+            native = score_features(features, backend="native")
+            interp = score_features(features, backend="interp")
+            assert native < interp
+            gaps[tag] = interp - native
+        # 8x8 tiles over 96x128 dispatch 192 tiles/stage vs 1: the dispatch
+        # term must dominate the gap, not be a constant offset
+        assert gaps["tiled"] > 50 * gaps["untiled"]
+
+    def test_native_ranking_tolerates_finer_tiles(self):
+        """Under the native backend a fine tiling's dispatch penalty shrinks
+        by the dispatch-cost ratio — the model must narrow the gap between
+        fine and coarse tiles, not keep charging Python prices."""
+        fine = self._scheduled_features(
+            [Schedule(tile_x=8, tile_y=8, compute="root"),
+             Schedule(tile_x=8, tile_y=8, compute="root")])
+        coarse = self._scheduled_features(
+            [Schedule(tile_x=128, tile_y=128, compute="root"),
+             Schedule(tile_x=128, tile_y=128, compute="root")])
+        gap_native = (score_features(fine, backend="native")
+                      - score_features(coarse, backend="native"))
+        gap_interp = (score_features(fine, backend="interp")
+                      - score_features(coarse, backend="interp"))
+        assert gap_native < gap_interp

@@ -138,9 +138,33 @@ class TestIsolation:
         db.record(WORKLOAD, _record())
         assert db.lookup(WORKLOAD) is not None
         monkeypatch.setattr("repro.halide.tuningdb.machine_fingerprint",
-                            lambda: {"machine": "sparc64", "system": "Zeta",
-                                     "cpus": 512})
+                            lambda engine=None: {"machine": "sparc64",
+                                                 "system": "Zeta",
+                                                 "cpus": 512,
+                                                 "backend": "compiled"})
         assert db.lookup(WORKLOAD) is None
+
+    def test_records_are_isolated_per_backend(self, tmp_path):
+        """A schedule tuned for one backend must never serve another: the
+        native backend's dispatch costs differ by an order of magnitude, so
+        its winners are wrong for the NumPy engines (and vice versa)."""
+        db = TuningDatabase(ArtifactStore(tmp_path))
+        db.record(WORKLOAD, _record(), engine="native")
+        assert db.lookup(WORKLOAD, engine="native") is not None
+        assert db.lookup(WORKLOAD, engine="compiled") is None
+        assert db.lookup(WORKLOAD, engine="interp") is None
+        db.record(WORKLOAD, _record(Schedule(tile_x=8, tile_y=8)),
+                  engine="compiled")
+        assert db.lookup(WORKLOAD, engine="compiled").schedules[0].tile_x == 8
+        assert db.lookup(WORKLOAD, engine="native").schedules[0].tile_x == 32
+
+    def test_fingerprint_carries_backend(self):
+        native = machine_fingerprint("native")
+        compiled = machine_fingerprint("compiled")
+        assert native["backend"] == "native"
+        assert compiled["backend"] == "compiled"
+        assert {k: v for k, v in native.items() if k != "backend"} == \
+            {k: v for k, v in compiled.items() if k != "backend"}
 
     def test_wrong_stage_count_is_a_miss_for_warm_start(self, tmp_path):
         record = _record()
