@@ -139,15 +139,21 @@ def test_fig8_reduction_serving_zero_per_request_compiles(bench_planes_large):
     with PipelineServer(pipeline, frame_shape=frame.shape) as server:
         warm_misses = kernel_cache_stats["misses"]
         assert warm_misses >= 2            # store kernels + update sweep
-        batch = server.realize_batch(frames)
+        # Best-of-N batches, mirroring ``time_callable``: the first batch
+        # doubles as warm-up, the minimum is the stable per-frame figure.
+        # A single 4-frame batch swings 28-55 ms/frame on a busy host and
+        # has twice masqueraded as a serving regression in review.
+        batches = [server.realize_batch(frames) for _ in range(5)]
         stats = server.stats()
     assert kernel_cache_stats["misses"] == warm_misses, \
         "a request paid codegen"
-    assert stats["completed"] == len(frames)
-    for output, reference in zip(batch.outputs, expected):
-        np.testing.assert_array_equal(output, reference)
+    assert stats["completed"] == len(batches) * len(frames)
+    for batch in batches:
+        for output, reference in zip(batch.outputs, expected):
+            np.testing.assert_array_equal(output, reference)
 
-    record_bench("fig8_reduction/serving", batch.wall_seconds / len(frames),
+    best = min(batches, key=lambda batch: batch.wall_seconds)
+    record_bench("fig8_reduction/serving", best.wall_seconds / len(frames),
                  engine="compiled", image_size=(LARGE_WIDTH, LARGE_HEIGHT),
-                 frames=len(frames),
-                 frames_per_second=round(batch.frames_per_second, 2))
+                 frames=len(frames), batches=len(batches),
+                 frames_per_second=round(best.frames_per_second, 2))
